@@ -1,0 +1,92 @@
+"""§4.3 / §3.2 ablation: the role-swap mechanism hierarchy.
+
+The paper orders three mechanisms for changing what an FPGA computes:
+Model Reload (≤250 µs), partial reconfiguration (milliseconds, future
+work — implemented here), and full reconfiguration (seconds).  Each
+step up costs ~an order of magnitude more time and more disruption:
+model reload keeps everything alive; partial reconfiguration takes the
+role offline but keeps the shell routing (no NMI, no TX/RX-Halt);
+full reconfiguration darkens the node and needs the whole §3.4
+protocol.
+"""
+
+from repro.analysis import format_table
+from repro.fabric import Pod, TorusTopology
+from repro.hardware import Bitstream, ResourceBudget
+from repro.hardware.constants import FULL_RECONFIG_NS, MODEL_RELOAD_WORST_NS
+from repro.hardware.dram import DramController
+from repro.host import FpgaDriver
+from repro.sim import Engine
+from repro.sim.units import MS, US
+
+
+def bitstream(name):
+    return Bitstream(role_name=name, role_budget=ResourceBudget(alms=1000), clock_mhz=175.0)
+
+
+def run_experiment():
+    eng = Engine(seed=44)
+    pod = Pod(eng, topology=TorusTopology(width=2, height=2))
+    server = pod.server_at((0, 0))
+    driver = FpgaDriver(server)
+    eng.run_until(driver.reconfigure(bitstream("initial")))
+
+    # 1. Model reload: worst case from DRAM.
+    dram = DramController(eng)
+    model_reload_ns = dram.transfer_time_ns(
+        2014 * 20 * 1024 // 8, sequential=True
+    )
+
+    # 2. Partial reconfiguration: shell stays live.
+    start = eng.now
+    eng.run_until(server.shell.partial_reconfigure(bitstream("swap-a")))
+    partial_ns = eng.now - start
+    partial_crashes = server.crash_count
+
+    # 3. Full reconfiguration with the §3.4 protocol.
+    start = eng.now
+    eng.run_until(driver.reconfigure(bitstream("swap-b")))
+    full_ns = eng.now - start
+
+    return {
+        "model_reload_ns": model_reload_ns,
+        "partial_ns": partial_ns,
+        "full_ns": full_ns,
+        "partial_crashes": partial_crashes,
+        "total_crashes": server.crash_count,
+    }
+
+
+def test_role_swap_mechanism_hierarchy(benchmark, record):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        ["mechanism", "time", "role offline", "node dark", "needs NMI mask"],
+        [
+            (
+                "Model Reload (§4.3)",
+                f"{result['model_reload_ns'] / US:.0f} us",
+                "no", "no", "no",
+            ),
+            (
+                "partial reconfiguration (future work)",
+                f"{result['partial_ns'] / MS:.0f} ms",
+                "yes", "no", "no",
+            ),
+            (
+                "full reconfiguration (§3.4 protocol)",
+                f"{result['full_ns'] / MS:.0f} ms",
+                "yes", "yes", "yes",
+            ),
+        ],
+        title="§4.3 ablation — the role-swap mechanism hierarchy",
+    )
+    record("ablation_partial_reconfig", table)
+
+    # Each step is ~an order of magnitude (or more) costlier.
+    assert result["model_reload_ns"] <= MODEL_RELOAD_WORST_NS * 1.12
+    assert result["partial_ns"] > 50 * result["model_reload_ns"]
+    assert result["full_ns"] >= 5 * result["partial_ns"]
+    assert result["full_ns"] >= FULL_RECONFIG_NS
+    # Partial reconfiguration crashed nothing (no NMI raised).
+    assert result["partial_crashes"] == 0
+    assert result["total_crashes"] == 0

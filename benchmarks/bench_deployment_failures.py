@@ -1,0 +1,44 @@
+"""§2.3 deployment statistics: manufacturing failures at scale.
+
+Paper: of 1,632 deployed servers, 7 cards (0.4 %) had hardware
+failures and 1 of 3,264 cable-assembly links (0.03 %) was defective;
+no further hardware failures over several months.
+"""
+
+from repro.analysis import format_table
+from repro.fabric import Datacenter
+from repro.sim import Engine
+
+TRIALS = 40
+
+
+def run_experiment():
+    reports = []
+    for trial in range(TRIALS):
+        dc = Datacenter(Engine(seed=trial))
+        reports.append(dc.manufacturing_test())
+    return reports
+
+
+def test_deployment_failure_statistics(benchmark, record):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    mean_cards = sum(r.failed_cards for r in reports) / len(reports)
+    mean_links = sum(r.failed_links for r in reports) / len(reports)
+    table = format_table(
+        ["statistic", "measured (mean of 40 deployments)", "paper"],
+        [
+            ("servers deployed", reports[0].total_cards, 1_632),
+            ("links deployed", reports[0].total_links, 3_264),
+            ("failed cards", round(mean_cards, 2), 7),
+            ("failed links", round(mean_links, 2), 1),
+            ("card failure rate", f"{mean_cards / 1_632:.4%}", "0.43%"),
+            ("link failure rate", f"{mean_links / 3_264:.4%}", "0.03%"),
+        ],
+        title="§2.3 — deployment-time manufacturing failures",
+    )
+    record("deployment_failures", table)
+
+    assert reports[0].total_cards == 1_632
+    assert reports[0].total_links == 3_264
+    assert 4.0 <= mean_cards <= 10.0  # ~7 expected
+    assert 0.2 <= mean_links <= 2.5  # ~1 expected

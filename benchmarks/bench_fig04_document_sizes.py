@@ -1,0 +1,45 @@
+"""Figure 4: cumulative distribution of compressed document sizes.
+
+Paper: over a 210 Kdoc production sample, compressed documents average
+6.5 KB, p99 = 53 KB, and only ~300 (0.14 %) exceed the 64 KB
+truncation threshold.
+"""
+
+from repro.analysis import format_table, percentile
+from repro.workloads import DocumentSizeDistribution
+
+import random
+
+SAMPLES = 210_000  # the paper's sample size
+
+
+def run_experiment():
+    rng = random.Random(2014)
+    dist = DocumentSizeDistribution(rng)
+    return dist.sample_many(SAMPLES)
+
+
+def test_fig04_document_size_cdf(benchmark, record):
+    sizes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    mean = sum(sizes) / len(sizes)
+    rows = []
+    for pct in (25, 50, 75, 90, 95, 99, 99.9):
+        rows.append((f"p{pct}", round(percentile(sizes, pct) / 1024.0, 1)))
+    over_64k = sum(1 for s in sizes if s > 64 * 1024)
+    rows.append(("mean (KB)", round(mean / 1024.0, 2)))
+    rows.append(("docs > 64KB", over_64k))
+    rows.append(("frac > 64KB", round(over_64k / len(sizes), 5)))
+    table = format_table(
+        ["statistic", "value"],
+        rows,
+        title=(
+            "Figure 4 — compressed document size distribution "
+            f"({SAMPLES} docs)\npaper: mean 6.5 KB, p99 53 KB, ~300 docs > 64 KB"
+        ),
+    )
+    record("fig04_document_sizes", table)
+
+    # Shape assertions against the paper's anchors.
+    assert 5.0 * 1024 <= mean <= 8.0 * 1024
+    assert 35 * 1024 <= percentile(sizes, 99) <= 70 * 1024
+    assert over_64k / len(sizes) < 0.006

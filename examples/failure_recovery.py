@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Failure handling: ring rotation onto the spare FPGA (§3.4–§3.5).
+
+Deploys the ranking pipeline, verifies it works, kills the FFE1 FPGA,
+lets the Health Monitor diagnose it and the Mapping Manager rotate the
+ring onto the spare, then shows the pipeline serving traffic again —
+and that the TX/RX-Halt protocol kept neighbours uncorrupted.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.core import CatapultFabric
+from repro.fabric import TorusTopology
+from repro.services import FailureInjector, FailureKind
+from repro.sim.units import SEC
+
+
+def inject_and_report(fabric, pipeline, pod, tag):
+    pool = pipeline.make_request_pool(3, seed=17)
+    done, stats = pipeline.spawn_injector(
+        pod.server_at((1, 4)), threads=1, pool=pool, requests_per_thread=3
+    )
+    fabric.engine.run_until(done)
+    print(f"  [{tag}] {stats.completed}/3 requests scored, "
+          f"{stats.timeouts} timeouts")
+    return stats
+
+
+def main() -> None:
+    fabric = CatapultFabric(
+        pods=1, topology=TorusTopology(width=2, height=8), seed=3
+    )
+    pod = fabric.pod(0)
+    pipeline = fabric.deploy_ranking(ring=0, model_scale=0.1)
+    print("Deployed. Initial mapping:")
+    print(f"  {pipeline.assignment.role_to_node}")
+
+    print("\nBaseline traffic:")
+    inject_and_report(fabric, pipeline, pod, "before failure")
+
+    victim = pipeline.assignment.node_of("ffe1")
+    print(f"\nInjecting an FPGA hardware fault at {victim} (hosts ffe1)...")
+    FailureInjector(pod).inject(FailureKind.FPGA_HARDWARE_FAULT, victim)
+
+    print("Health Monitor investigates; Mapping Manager rotates the ring:")
+    t0 = fabric.engine.now
+    report = fabric.check_health([victim])
+    recovery_s = (fabric.engine.now - t0) / SEC
+    diagnosis = report.diagnoses[0]
+    print(f"  diagnosis: fpga_failed={diagnosis.flags.fpga_failed}, "
+          f"needs_relocation={diagnosis.flags.needs_relocation}")
+    print(f"  recovery took {recovery_s:.1f} s (reconfiguration-dominated)")
+    print(f"  new mapping: {pipeline.assignment.role_to_node}")
+    assert victim in pipeline.assignment.excluded
+
+    print("\nTraffic after rotation:")
+    stats = inject_and_report(fabric, pipeline, pod, "after rotation")
+    assert stats.completed == 3
+
+    print("\nNeighbour corruption check (TX/RX-Halt protocol):")
+    corrupted = [
+        node
+        for node, server in pod.servers.items()
+        if server.shell.role is not None and server.shell.role.corrupted
+    ]
+    print(f"  corrupted roles: {corrupted or 'none'}")
+    assert not corrupted
+    print("Done: the pipeline survived a hardware failure with no "
+          "corruption and seconds of downtime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Explore the 6x8 torus: routing, cables, miswiring detection (§2.2).
+
+Builds the full 48-server production pod, walks dimension-order routes,
+breaks a cable assembly, miswires another pod at integration time, and
+shows how the Health Monitor's neighbour-ID probe catches both.
+
+Run:  python examples/torus_explorer.py
+"""
+
+from collections import Counter
+
+from repro.fabric import Pod, TorusTopology
+from repro.fabric.cables import WiringPlan
+from repro.services import HealthMonitor
+from repro.shell.router import Port
+from repro.sim import Engine
+
+
+def main() -> None:
+    eng = Engine(seed=5)
+    topology = TorusTopology()  # the production 6x8
+    pod = Pod(eng, topology=topology)
+    print(f"Built {pod!r}")
+    print(f"  cable assemblies: {len(pod.assemblies)} "
+          f"(6 column shells of 8, 8 row shells of 6)")
+
+    # Hop-distance histogram: why a 6x8 torus balances routability.
+    hops = Counter()
+    nodes = topology.nodes()
+    for src in nodes:
+        for dst in nodes:
+            if src != dst:
+                hops[topology.hop_distance(src, dst)] += 1
+    print("\nHop-distance histogram (all src->dst pairs):")
+    for distance in sorted(hops):
+        print(f"  {distance} hops: {hops[distance]:4d} pairs "
+              f"{'#' * (hops[distance] // 40)}")
+    mean_hops = sum(d * c for d, c in hops.items()) / sum(hops.values())
+    print(f"  mean {mean_hops:.2f}, max {max(hops)} — an 8-FPGA ring is one "
+          "column wrap")
+
+    # Break a whole cable assembly (a column shell of 8 cables).
+    assembly = pod.assemblies["col2"]
+    print(f"\nFailing cable assembly {assembly.name} "
+          f"({len(assembly.links)} links)...")
+    assembly.fail()
+    monitor = HealthMonitor(eng, pod)
+    report = eng.run_until(monitor.investigate([(2, 0), (2, 4)]))
+    for diagnosis in report.diagnoses:
+        print(f"  {diagnosis.machine_id}: links down on "
+              f"{list(diagnosis.flags.link_down)}")
+    assembly.repair()
+
+    # Miswire a second pod at integration time.
+    print("\nBuilding a miswired pod (two east-west cables swapped)...")
+    wiring = WiringPlan(topology)
+    wiring.swap(0, 4)
+    bad_pod = Pod(eng, pod_id=1, topology=topology, wiring=wiring)
+    bad_monitor = HealthMonitor(eng, bad_pod)
+    report = eng.run_until(bad_monitor.investigate(list(bad_pod.servers)))
+    mismatches = [
+        (d.machine_id, d.flags.neighbor_mismatch)
+        for d in report.diagnoses
+        if d.flags.neighbor_mismatch
+    ]
+    print(f"  neighbour-ID mismatches detected on {len(mismatches)} machines:")
+    for machine_id, details in mismatches[:4]:
+        for port, expected, seen in details:
+            print(f"    {machine_id} {port}: expected {expected}, saw {seen}")
+    print("\nDone: topology errors are caught by the §3.5 health vector "
+          "before service deployment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept as a classic setup.py (with metadata in setup.cfg) so that
+``pip install -e .`` works in offline environments: the legacy editable
+path needs no build-isolation downloads.
+"""
+
+from setuptools import setup
+
+setup()

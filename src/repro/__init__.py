@@ -1,0 +1,13 @@
+"""Catapult reproduction: a reconfigurable fabric for accelerating
+large-scale datacenter services (Putnam et al., ISCA 2014).
+
+The package simulates the full Catapult system: FPGA boards with a
+shell/role split, a 6x8 torus of SL3 links per 48-server pod, pod-level
+management services, and the Bing ranking pipeline mapped onto rings of
+eight FPGAs — plus the pure-software baseline it is compared against.
+
+Start with :mod:`repro.core` (the high-level fabric API) or the
+``examples/`` directory.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,18 @@
+"""Measurement, reporting, and trace-replay utilities."""
+
+from repro.analysis.stats import LatencyStats, cdf_points, percentile
+from repro.analysis.meters import ThroughputMeter
+from repro.analysis.replay import PathStep, TraceReplay, replay_trace
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "LatencyStats",
+    "PathStep",
+    "ThroughputMeter",
+    "TraceReplay",
+    "cdf_points",
+    "format_series",
+    "format_table",
+    "percentile",
+    "replay_trace",
+]

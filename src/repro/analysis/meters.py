@@ -1,0 +1,41 @@
+"""Throughput measurement over simulated time windows."""
+
+from __future__ import annotations
+
+from repro.sim import Engine
+from repro.sim.units import SEC
+
+
+class ThroughputMeter:
+    """Counts completions; reports rates over the measured window.
+
+    Supports a warm-up boundary so saturation measurements exclude the
+    pipeline fill transient.
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.count = 0
+        self.warm_count = 0
+        self._start = engine.now
+        self._warm_start: float | None = None
+
+    def record(self) -> None:
+        self.count += 1
+        if self._warm_start is not None:
+            self.warm_count += 1
+
+    def start_measurement(self) -> None:
+        """Mark the end of warm-up; rates report from this instant."""
+        self._warm_start = self.engine.now
+        self.warm_count = 0
+
+    @property
+    def window_ns(self) -> float:
+        start = self._warm_start if self._warm_start is not None else self._start
+        return max(self.engine.now - start, 1e-9)
+
+    @property
+    def per_second(self) -> float:
+        counted = self.warm_count if self._warm_start is not None else self.count
+        return counted * SEC / self.window_ns

@@ -1,0 +1,78 @@
+"""Latency statistics: percentiles and CDFs, paper-style."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+
+def percentile(samples: typing.Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile; ``pct`` in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0,100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def cdf_points(
+    samples: typing.Sequence[float], points: int = 100
+) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    result = []
+    for i in range(1, points + 1):
+        frac = i / points
+        index = min(int(frac * len(ordered)) - 1, len(ordered) - 1)
+        result.append((ordered[max(index, 0)], frac))
+    return result
+
+
+@dataclasses.dataclass
+class LatencyStats:
+    """Summary of a latency sample set (ns)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    p999: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: typing.Sequence[float]) -> "LatencyStats":
+        if not samples:
+            raise ValueError("no samples")
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            p999=percentile(samples, 99.9),
+            max=max(samples),
+        )
+
+    def scaled(self, factor: float) -> "LatencyStats":
+        return LatencyStats(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            p999=self.p999 * factor,
+            max=self.max * factor,
+        )

@@ -1,0 +1,16 @@
+"""The high-level Catapult API: the paper's contribution as one object.
+
+:class:`CatapultFabric` composes everything below it — pods of
+FPGA-equipped servers wired into 6x8 tori, the shell on every board,
+the Mapping Manager and Health Monitor — and exposes the operations a
+datacenter operator performs: deploy a service onto rings, inject
+work, watch health, survive failures.
+
+:class:`LoopbackHarness` is the node-level methodology of §5: a single
+stage role measured standalone in PCIe-only or SL3-loopback mode.
+"""
+
+from repro.core.fabric import CatapultFabric
+from repro.core.loopback import LoopbackHarness, LoopbackMode
+
+__all__ = ["CatapultFabric", "LoopbackHarness", "LoopbackMode"]

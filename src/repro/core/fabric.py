@@ -1,0 +1,101 @@
+"""The :class:`CatapultFabric` facade."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.fabric.datacenter import Datacenter
+from repro.fabric.pod import Pod
+from repro.fabric.torus import NodeId, TorusTopology
+from repro.ranking.models import ModelLibrary
+from repro.ranking.pipeline import RankingPipeline
+from repro.services.health_monitor import HealthMonitor, HealthReport
+from repro.services.mapping_manager import MappingManager
+from repro.shell.shell import ShellConfig
+from repro.sim import Engine
+
+
+class CatapultFabric:
+    """A deployed reconfigurable fabric, ready for services.
+
+    Typical use::
+
+        fabric = CatapultFabric(pods=1, seed=7)
+        pipeline = fabric.deploy_ranking(ring=0, model_scale=0.1)
+        # ... inject requests via pipeline.spawn_injector(...)
+        report = fabric.check_health(fabric.pod(0).topology.ring(0))
+    """
+
+    def __init__(
+        self,
+        pods: int = 1,
+        topology: TorusTopology | None = None,
+        shell_config: ShellConfig | None = None,
+        seed: int = 0,
+        engine: Engine | None = None,
+    ):
+        self.engine = engine or Engine(seed=seed)
+        self.datacenter = Datacenter(
+            self.engine,
+            num_pods=pods,
+            topology=topology or TorusTopology(),
+            shell_config=shell_config or ShellConfig(),
+        )
+        self._mapping_managers: dict[int, MappingManager] = {}
+        self._health_monitors: dict[int, HealthMonitor] = {}
+
+    # -- infrastructure access ------------------------------------------------
+
+    def pod(self, pod_id: int = 0) -> Pod:
+        return self.datacenter.pod(pod_id)
+
+    def mapping_manager(self, pod_id: int = 0) -> MappingManager:
+        if pod_id not in self._mapping_managers:
+            self._mapping_managers[pod_id] = MappingManager(self.engine, self.pod(pod_id))
+        return self._mapping_managers[pod_id]
+
+    def health_monitor(self, pod_id: int = 0) -> HealthMonitor:
+        if pod_id not in self._health_monitors:
+            self._health_monitors[pod_id] = HealthMonitor(
+                self.engine,
+                self.pod(pod_id),
+                mapping_manager=self.mapping_manager(pod_id),
+            )
+        return self._health_monitors[pod_id]
+
+    # -- service deployment ----------------------------------------------------
+
+    def deploy_ranking(
+        self,
+        pod_id: int = 0,
+        ring: int = 0,
+        library: ModelLibrary | None = None,
+        model_scale: float = 1.0,
+        qm_policy: str = "batch",
+    ) -> RankingPipeline:
+        """Deploy the Bing ranking service (§4) onto one ring."""
+        library = library or ModelLibrary.default(scale=model_scale)
+        pipeline = RankingPipeline(
+            self.engine, self.pod(pod_id), library, ring_x=ring, qm_policy=qm_policy
+        )
+        # Reuse the fabric's mapping manager so failure handling sees
+        # this assignment.
+        pipeline.mapping_manager = self.mapping_manager(pod_id)
+        pipeline.deploy()
+        return pipeline
+
+    # -- operations ---------------------------------------------------------------
+
+    def check_health(
+        self, nodes: typing.Sequence[NodeId], pod_id: int = 0
+    ) -> HealthReport:
+        """Run a Health Monitor investigation and return its report."""
+        done = self.health_monitor(pod_id).investigate(list(nodes))
+        return self.engine.run_until(done)
+
+    def run(self, until_ns: float | None = None) -> float:
+        """Advance simulated time."""
+        return self.engine.run(until=until_ns)
+
+    def __repr__(self) -> str:
+        return f"<CatapultFabric {self.datacenter!r}>"

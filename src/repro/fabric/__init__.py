@@ -1,0 +1,28 @@
+"""The fabric: torus wiring, pods, servers and the datacenter (§2).
+
+One pod is a half-rack of 48 half-width 1U servers whose FPGAs form a
+6x8 2-D torus over SAS cable assemblies.  The deployment in the paper
+is 34 pods in 17 racks — 1,632 machines.
+"""
+
+from repro.fabric.torus import TorusTopology, dor_routes
+from repro.fabric.cables import CableAssembly, WiringPlan
+from repro.fabric.ethernet import EthernetNetwork, RpcTimeout
+from repro.fabric.server import CrashSeverity, Server, ServerState
+from repro.fabric.pod import Pod
+from repro.fabric.datacenter import Datacenter, ManufacturingReport
+
+__all__ = [
+    "CableAssembly",
+    "CrashSeverity",
+    "Datacenter",
+    "EthernetNetwork",
+    "ManufacturingReport",
+    "Pod",
+    "RpcTimeout",
+    "Server",
+    "ServerState",
+    "TorusTopology",
+    "WiringPlan",
+    "dor_routes",
+]

@@ -1,0 +1,131 @@
+"""The datacenter deployment (§2.3).
+
+The production test bed was 34 populated pods in 17 racks — 1,632
+machines.  At deployment, 7 cards (0.4 %) had hardware failures and 1
+of the 3,264 cable-assembly links (0.03 %) was defective; no further
+hardware failures were observed over several months.
+
+Building 34 live pods is possible but rarely necessary: experiments
+run on one pod (or one ring) and scale analytically.  The datacenter
+object therefore builds pods lazily and provides a Monte Carlo
+manufacturing-test model for the §2.3 statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.fabric.ethernet import EthernetNetwork
+from repro.fabric.pod import Pod
+from repro.fabric.torus import TorusTopology
+from repro.hardware.constants import (
+    CARD_FAILURE_RATE,
+    LINK_FAILURE_RATE,
+    PODS_DEPLOYED,
+)
+from repro.shell.shell import ShellConfig
+from repro.sim import Engine
+
+
+@dataclasses.dataclass(frozen=True)
+class ManufacturingReport:
+    """Outcome of deployment-time card/cable testing."""
+
+    total_cards: int
+    failed_cards: int
+    total_links: int
+    failed_links: int
+
+    @property
+    def card_failure_rate(self) -> float:
+        return self.failed_cards / self.total_cards if self.total_cards else 0.0
+
+    @property
+    def link_failure_rate(self) -> float:
+        return self.failed_links / self.total_links if self.total_links else 0.0
+
+
+class Datacenter:
+    """A deployment of pods sharing one management network."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        num_pods: int = PODS_DEPLOYED,
+        topology: TorusTopology | None = None,
+        shell_config: ShellConfig | None = None,
+    ):
+        if num_pods < 1:
+            raise ValueError(f"need at least one pod, got {num_pods}")
+        self.engine = engine
+        self.num_pods = num_pods
+        self.topology = topology or TorusTopology()
+        self.shell_config = shell_config or ShellConfig()
+        self.ethernet = EthernetNetwork(engine)
+        self._pods: dict[int, Pod] = {}
+
+    # -- lazily built pods ---------------------------------------------------
+
+    def pod(self, pod_id: int) -> Pod:
+        """Build (once) and return pod ``pod_id``."""
+        if not 0 <= pod_id < self.num_pods:
+            raise ValueError(f"pod {pod_id} outside deployment of {self.num_pods}")
+        if pod_id not in self._pods:
+            self._pods[pod_id] = Pod(
+                self.engine,
+                pod_id=pod_id,
+                topology=self.topology,
+                shell_config=self.shell_config,
+                ethernet=self.ethernet,
+            )
+        return self._pods[pod_id]
+
+    @property
+    def built_pods(self) -> list[Pod]:
+        return [self._pods[i] for i in sorted(self._pods)]
+
+    @property
+    def total_servers(self) -> int:
+        return self.num_pods * self.topology.node_count
+
+    @property
+    def total_links(self) -> int:
+        # Every node owns two cables (EAST + SOUTH) in a 2-D torus.
+        return self.num_pods * 2 * self.topology.node_count
+
+    @property
+    def racks(self) -> int:
+        return (self.num_pods + 1) // 2  # two pods per rack
+
+    # -- §2.3 manufacturing statistics ------------------------------------------
+
+    def manufacturing_test(
+        self,
+        card_failure_rate: float = CARD_FAILURE_RATE,
+        link_failure_rate: float = LINK_FAILURE_RATE,
+        stream: str = "manufacturing",
+    ) -> ManufacturingReport:
+        """Monte Carlo over per-card and per-link defect probabilities.
+
+        Deterministic given the engine seed; reproduces the scale of
+        the paper's deployment findings (7 cards, 1 link).
+        """
+        rng = self.engine.rng.stream(stream)
+        failed_cards = sum(
+            1 for _ in range(self.total_servers) if rng.random() < card_failure_rate
+        )
+        failed_links = sum(
+            1 for _ in range(self.total_links) if rng.random() < link_failure_rate
+        )
+        return ManufacturingReport(
+            total_cards=self.total_servers,
+            failed_cards=failed_cards,
+            total_links=self.total_links,
+            failed_links=failed_links,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Datacenter {self.num_pods} pods / {self.racks} racks / "
+            f"{self.total_servers} servers ({len(self._pods)} built)>"
+        )

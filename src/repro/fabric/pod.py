@@ -1,0 +1,133 @@
+"""A pod: 48 servers and their 6x8 torus (§2.2, Figure 2).
+
+Each pod has its own power distribution unit and top-of-rack switch.
+The pod builds the servers, wires the torus through cable assemblies
+(honouring any injected miswiring), and programs every router's static
+dimension-order routing table.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.fabric.cables import CableAssembly, WiringPlan
+from repro.fabric.ethernet import EthernetNetwork
+from repro.fabric.server import Server
+from repro.fabric.torus import ROUTING_POLICIES, NodeId, TorusTopology
+from repro.shell.router import Port
+from repro.shell.shell import ShellConfig
+from repro.shell.sl3 import Sl3Link
+from repro.sim import Engine
+
+
+class Pod:
+    """One half-rack of 48 FPGA-equipped servers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pod_id: int = 0,
+        topology: TorusTopology | None = None,
+        shell_config: ShellConfig | None = None,
+        ethernet: EthernetNetwork | None = None,
+        wiring: WiringPlan | None = None,
+        routing_policy: str = "xy",
+    ):
+        if routing_policy not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {routing_policy!r}")
+        self.engine = engine
+        self.pod_id = pod_id
+        self.topology = topology or TorusTopology()
+        self.shell_config = shell_config or ShellConfig()
+        self.ethernet = ethernet or EthernetNetwork(engine)
+        self.wiring = wiring or WiringPlan(self.topology)
+        self.routing_policy = routing_policy
+        self.servers: dict[NodeId, Server] = {}
+        self.links: list[Sl3Link] = []
+        self.assemblies: dict[str, CableAssembly] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        for node in self.topology.nodes():
+            machine_id = self.machine_id(node)
+            server = Server(self.engine, machine_id, node, self.shell_config)
+            self.servers[node] = server
+            self.ethernet.register(machine_id, server.health_rpc_handler)
+        self._wire_links()
+        self._program_routes()
+
+    def machine_id(self, node: NodeId) -> str:
+        x, y = node
+        return f"pod{self.pod_id}-s{y * self.topology.width + x:02d}"
+
+    def _wire_links(self) -> None:
+        assembly_groups = self.wiring.assemblies()
+        index_to_assembly = {
+            index: name for name, indices in assembly_groups.items() for index in indices
+        }
+        for index, (src, src_port, dst, dst_port) in enumerate(self.wiring.wires):
+            a = self.servers[src].shell.create_endpoint(src_port)
+            b = self.servers[dst].shell.create_endpoint(dst_port)
+            link = Sl3Link(
+                self.engine,
+                a,
+                b,
+                config=self.shell_config.sl3,
+                name=f"pod{self.pod_id}:{src}:{src_port.value}",
+            )
+            self.links.append(link)
+            name = index_to_assembly[index]
+            assembly = self.assemblies.setdefault(
+                name, CableAssembly(name=f"pod{self.pod_id}:{name}")
+            )
+            assembly.links.append(link)
+
+    def _program_routes(self) -> None:
+        compute = ROUTING_POLICIES[self.routing_policy]
+        for node, server in self.servers.items():
+            server.shell.router.set_routes(compute(self.topology, node))
+
+    def reprogram_routes(self, routing_policy: str) -> None:
+        """Software route update across the pod (the tables are static
+        per configuration, but management software owns them, §3.2)."""
+        if routing_policy not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {routing_policy!r}")
+        self.routing_policy = routing_policy
+        for server in self.servers.values():
+            server.shell.router.routing_table.clear()
+        self._program_routes()
+
+    # -- access ----------------------------------------------------------------
+
+    def server_at(self, node: NodeId) -> Server:
+        return self.servers[node]
+
+    def ring(self, x: int) -> list[Server]:
+        """The 8 servers of column ``x`` — one ranking pipeline (§4)."""
+        return [self.servers[node] for node in self.topology.ring(x)]
+
+    def all_servers(self) -> list[Server]:
+        return [self.servers[node] for node in self.topology.nodes()]
+
+    def release_all_rx_halts(self) -> None:
+        """Fabric bring-up complete: accept inter-FPGA traffic."""
+        for server in self.servers.values():
+            server.shell.release_rx_halt()
+
+    def link_between(self, a: NodeId, b: NodeId) -> Sl3Link | None:
+        """The physical link wired between two nodes, if any."""
+        shells = {self.servers[a].shell, self.servers[b].shell}
+        for link in self.links:
+            owners = set()
+            for endpoint in (link.a, link.b):
+                for server in (self.servers[a], self.servers[b]):
+                    if endpoint in server.shell.endpoints.values():
+                        owners.add(server.shell)
+            if owners == shells:
+                return link
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Pod {self.pod_id}: {len(self.servers)} servers, {len(self.links)} links>"

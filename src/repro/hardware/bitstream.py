@@ -1,0 +1,103 @@
+"""Bitstreams and FPGA resource budgets.
+
+A :class:`Bitstream` is what the Mapping Manager writes to a board's
+configuration flash and loads into the FPGA.  It names the role it
+implements, declares the resources the role needs (so synthesis can
+check fit against the device), and carries a shell compatibility
+version — mismatched shells are how "old data from FPGAs that have not
+yet been reconfigured" (§3.4) arises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.constants import FpgaDevice, SHELL_AREA_FRACTION
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceBudget:
+    """FPGA resources used by a design (role or shell)."""
+
+    alms: int = 0
+    m20k_blocks: int = 0
+    dsp_blocks: int = 0
+
+    def __add__(self, other: "ResourceBudget") -> "ResourceBudget":
+        return ResourceBudget(
+            alms=self.alms + other.alms,
+            m20k_blocks=self.m20k_blocks + other.m20k_blocks,
+            dsp_blocks=self.dsp_blocks + other.dsp_blocks,
+        )
+
+    def scaled(self, factor: float) -> "ResourceBudget":
+        return ResourceBudget(
+            alms=round(self.alms * factor),
+            m20k_blocks=round(self.m20k_blocks * factor),
+            dsp_blocks=round(self.dsp_blocks * factor),
+        )
+
+    def fits(self, device: FpgaDevice) -> bool:
+        return (
+            self.alms <= device.alms
+            and self.m20k_blocks <= device.m20k_blocks
+            and self.dsp_blocks <= device.dsp_blocks
+        )
+
+    def utilization(self, device: FpgaDevice) -> dict[str, float]:
+        """Fractional utilization per resource class."""
+        return {
+            "logic": self.alms / device.alms,
+            "ram": self.m20k_blocks / device.m20k_blocks,
+            "dsp": self.dsp_blocks / device.dsp_blocks,
+        }
+
+
+def shell_budget(device: FpgaDevice) -> ResourceBudget:
+    """The shell consumes 23 % of the FPGA (§3.2).
+
+    We charge 23 % of logic, and a fixed complement of RAM/DSP for the
+    DMA staging buffers, router queues and SL3 cores.
+    """
+    return ResourceBudget(
+        alms=round(device.alms * SHELL_AREA_FRACTION),
+        m20k_blocks=round(device.m20k_blocks * 0.10),
+        dsp_blocks=0,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ShellVersion:
+    """Shell compatibility tag carried by every bitstream."""
+
+    major: int = 1
+    minor: int = 0
+
+    def compatible_with(self, other: "ShellVersion") -> bool:
+        return self.major == other.major
+
+
+@dataclasses.dataclass(frozen=True)
+class Bitstream:
+    """A configuration image for one FPGA.
+
+    ``role_name`` identifies the application logic; ``role_budget`` is
+    the role's resource demand *excluding* the shell; ``clock_mhz`` is
+    the role clock closed by synthesis.
+    """
+
+    role_name: str
+    role_budget: ResourceBudget
+    clock_mhz: float
+    shell_version: ShellVersion = ShellVersion()
+    size_bytes: int = 21_000_000  # Stratix V D5 raw bitstream, ~21 MB
+
+    def total_budget(self, device: FpgaDevice) -> ResourceBudget:
+        """Role plus shell resources on ``device``."""
+        return self.role_budget + shell_budget(device)
+
+    def fits(self, device: FpgaDevice) -> bool:
+        return self.total_budget(device).fits(device)
+
+    def __str__(self) -> str:
+        return f"bitstream<{self.role_name}@{self.clock_mhz:.0f}MHz>"

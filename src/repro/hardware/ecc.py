@@ -1,0 +1,152 @@
+"""Error-correcting codes used by the DRAM controllers and SL3 links.
+
+The paper (§3.2) employs *single-bit error correction, double-bit error
+detection* (SECDED) on DRAM and on SL3 flits, with a CRC check at end
+of packet catching what the per-flit ECC misses.  This module provides
+real codecs, not stand-ins: a (72,64) extended Hamming SECDED code and
+a table-driven CRC-32.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+DATA_BITS = 64
+CODE_BITS = 72  # 64 data + 7 Hamming parity + 1 overall parity
+
+# Positions 1..71 hold Hamming-coded bits; powers of two are parity.
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+_DATA_POSITIONS = tuple(
+    pos for pos in range(1, CODE_BITS) if pos not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of a SECDED decode."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"  # single-bit error, repaired
+    UNCORRECTABLE = "uncorrectable"  # double-bit error, detected
+
+
+@dataclasses.dataclass(frozen=True)
+class SecDedResult:
+    """Decoded word plus the error disposition."""
+
+    data: int
+    status: DecodeStatus
+    flipped_position: int | None = None  # codeword bit that was repaired
+
+
+class SecDedCodec:
+    """A (72,64) extended Hamming code: corrects 1 bit, detects 2.
+
+    Codewords are 72-bit integers.  Bit 0 is the overall parity bit;
+    bits 1..71 form a (71,64) Hamming code with parity at power-of-two
+    positions.
+    """
+
+    data_bits = DATA_BITS
+    code_bits = CODE_BITS
+
+    def encode(self, data: int) -> int:
+        """Encode a 64-bit word into a 72-bit codeword."""
+        if not 0 <= data < (1 << DATA_BITS):
+            raise ValueError(f"data must be a 64-bit unsigned value, got {data:#x}")
+        word = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (data >> i) & 1:
+                word |= 1 << pos
+        # Hamming parity bits: parity over all positions containing that bit.
+        for parity_pos in _PARITY_POSITIONS:
+            parity = 0
+            for pos in range(1, CODE_BITS):
+                if pos & parity_pos and (word >> pos) & 1:
+                    parity ^= 1
+            if parity:
+                word |= 1 << parity_pos
+        # Overall parity (bit 0) makes total codeword parity even.
+        if self._parity(word):
+            word |= 1
+        return word
+
+    def decode(self, codeword: int) -> SecDedResult:
+        """Decode a 72-bit codeword, correcting/classifying errors."""
+        if not 0 <= codeword < (1 << CODE_BITS):
+            raise ValueError(f"codeword must be 72 bits, got {codeword:#x}")
+        syndrome = 0
+        for pos in range(1, CODE_BITS):
+            if (codeword >> pos) & 1:
+                syndrome ^= pos
+        overall_parity_bad = self._parity(codeword) == 1
+
+        if syndrome == 0 and not overall_parity_bad:
+            return SecDedResult(self._extract(codeword), DecodeStatus.CLEAN)
+        if syndrome == 0 and overall_parity_bad:
+            # The overall parity bit itself flipped; data is intact.
+            return SecDedResult(
+                self._extract(codeword), DecodeStatus.CORRECTED, flipped_position=0
+            )
+        if overall_parity_bad:
+            # Odd number of flips with a nonzero syndrome: single-bit error.
+            repaired = codeword ^ (1 << syndrome) if syndrome < CODE_BITS else codeword
+            if syndrome >= CODE_BITS:
+                return SecDedResult(0, DecodeStatus.UNCORRECTABLE)
+            return SecDedResult(
+                self._extract(repaired), DecodeStatus.CORRECTED, flipped_position=syndrome
+            )
+        # Even number of flips, nonzero syndrome: double-bit error.
+        return SecDedResult(0, DecodeStatus.UNCORRECTABLE)
+
+    @staticmethod
+    def _extract(codeword: int) -> int:
+        data = 0
+        for i, pos in enumerate(_DATA_POSITIONS):
+            if (codeword >> pos) & 1:
+                data |= 1 << i
+        return data
+
+    @staticmethod
+    def _parity(word: int) -> int:
+        parity = 0
+        while word:
+            parity ^= 1
+            word &= word - 1
+        return parity
+
+
+class Crc32:
+    """Table-driven CRC-32 (IEEE 802.3 reflected polynomial).
+
+    Used as the end-of-packet check on SL3 transfers: flits with three
+    or more bit errors can slip past SECDED but are caught here with
+    probability ~1 - 2^-32.
+    """
+
+    _POLY = 0xEDB88320
+
+    def __init__(self) -> None:
+        self._table = self._build_table()
+
+    @classmethod
+    def _build_table(cls) -> list[int]:
+        table = []
+        for byte in range(256):
+            crc = byte
+            for _ in range(8):
+                crc = (crc >> 1) ^ cls._POLY if crc & 1 else crc >> 1
+            table.append(crc)
+        return table
+
+    def checksum(self, payload: bytes) -> int:
+        """CRC-32 of ``payload``."""
+        crc = 0xFFFFFFFF
+        for byte in payload:
+            crc = (crc >> 8) ^ self._table[(crc ^ byte) & 0xFF]
+        return crc ^ 0xFFFFFFFF
+
+    def verify(self, payload: bytes, expected: int) -> bool:
+        """True if ``payload`` matches the ``expected`` checksum."""
+        return self.checksum(payload) == expected

@@ -1,0 +1,207 @@
+"""The FPGA device model: configuration state and reconfiguration.
+
+Captures the behaviours the paper's resilience machinery exists for:
+
+* full reconfiguration takes milliseconds-to-seconds (§4.3), during
+  which the device reads a bitstream from flash and **emits garbage on
+  its serial links** unless TX-Halt was asserted (§3.4);
+* during reconfiguration the device disappears from PCIe, raising a
+  non-maskable interrupt on the host unless the driver masked it;
+* configuration SRAM is subject to single-event upsets, which the SEU
+  scrubber repairs (§3.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.hardware.bitstream import Bitstream, ShellVersion
+from repro.hardware.constants import (
+    FULL_RECONFIG_NS,
+    PARTIAL_RECONFIG_NS,
+    STRATIX_V_D5,
+    FpgaDevice,
+)
+from repro.sim import Engine, Event
+
+
+class ReconfigError(Exception):
+    """Raised for invalid reconfiguration requests."""
+
+
+class FpgaState(enum.Enum):
+    UNCONFIGURED = "unconfigured"
+    RECONFIGURING = "reconfiguring"
+    CONFIGURED = "configured"
+    FAILED = "failed"  # hardware fault; needs manual service
+
+
+@dataclasses.dataclass
+class SeuCounters:
+    """Soft-error bookkeeping exposed to the Health Monitor."""
+
+    upsets_injected: int = 0
+    upsets_scrubbed: int = 0
+    uncorrected: int = 0
+
+
+class Fpga:
+    """One FPGA device with configuration and health state.
+
+    The device does not execute gates; roles are Python objects attached
+    by the shell once configuration completes.  What this class models
+    is *state*: what is loaded, whether the part is mid-reconfiguration,
+    and the error counters management software reads.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        device: FpgaDevice = STRATIX_V_D5,
+        shell_version: ShellVersion | None = None,
+        reconfig_ns: float = FULL_RECONFIG_NS,
+    ):
+        self.engine = engine
+        self.name = name
+        self.device = device
+        self.shell_version = shell_version or ShellVersion()
+        self.reconfig_ns = reconfig_ns
+        self.state = FpgaState.UNCONFIGURED
+        self.bitstream: Bitstream | None = None
+        self.seu = SeuCounters()
+        self.pll_locked = True
+        self.reconfig_count = 0
+        self.partial_reconfig_count = 0
+        self.role_reloading = False  # partial reconfiguration in flight
+        self._observers: list[typing.Callable[[Fpga, FpgaState], None]] = []
+
+    # -- observers -------------------------------------------------------
+
+    def on_state_change(self, callback: typing.Callable[["Fpga", FpgaState], None]) -> None:
+        """Register for state transitions (used by PCIe/link models)."""
+        self._observers.append(callback)
+
+    def _set_state(self, state: FpgaState) -> None:
+        self.state = state
+        for callback in self._observers:
+            callback(self, state)
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def configured_role(self) -> str | None:
+        return self.bitstream.role_name if self.bitstream else None
+
+    def reconfigure(self, bitstream: Bitstream) -> Event:
+        """Begin loading ``bitstream``; returns a completion event.
+
+        The caller (the driver) is responsible for the §3.4 protocol:
+        masking the PCIe NMI and asserting TX-Halt *before* calling.
+        """
+        if self.state == FpgaState.FAILED:
+            raise ReconfigError(f"{self.name}: device marked failed")
+        if self.state == FpgaState.RECONFIGURING:
+            raise ReconfigError(f"{self.name}: reconfiguration already in progress")
+        if not bitstream.fits(self.device):
+            raise ReconfigError(
+                f"{self.name}: {bitstream} does not fit {self.device.name}"
+            )
+        done = self.engine.event(name=f"reconfig:{self.name}")
+        self.engine.process(self._reconfigure_body(bitstream, done), name=f"rcfg.{self.name}")
+        return done
+
+    def _reconfigure_body(self, bitstream: Bitstream, done: Event) -> typing.Generator:
+        self._set_state(FpgaState.RECONFIGURING)
+        self.bitstream = None
+        yield self.engine.timeout(self.reconfig_ns)
+        if self.state == FpgaState.FAILED:
+            # The part died mid-flight (failure injection); stay dead.
+            done.fail(ReconfigError(f"{self.name}: failed during reconfiguration"))
+            return
+        self.bitstream = bitstream
+        self.reconfig_count += 1
+        # Cleared configuration: any SEU damage is wiped by the reload.
+        self.seu.uncorrected = 0
+        self._set_state(FpgaState.CONFIGURED)
+        done.succeed(bitstream)
+
+    def partial_reconfigure(self, bitstream: Bitstream) -> Event:
+        """Swap only the role region; the shell stays live (§3.2).
+
+        The paper's future-work path: "partial reconfiguration would
+        allow for dynamic switching between roles while the shell
+        remains active — even routing inter-FPGA traffic while a
+        reconfiguration is taking place."  The device never leaves
+        CONFIGURED, so PCIe stays on the bus (no NMI) and the router
+        keeps forwarding.
+        """
+        if self.state is not FpgaState.CONFIGURED:
+            raise ReconfigError(
+                f"{self.name}: partial reconfiguration needs a live shell "
+                f"(state {self.state.value})"
+            )
+        if self.role_reloading:
+            raise ReconfigError(f"{self.name}: role region already reloading")
+        if not bitstream.shell_version.compatible_with(self.shell_version):
+            raise ReconfigError(
+                f"{self.name}: {bitstream} targets an incompatible shell"
+            )
+        if not bitstream.fits(self.device):
+            raise ReconfigError(
+                f"{self.name}: {bitstream} does not fit {self.device.name}"
+            )
+        done = self.engine.event(name=f"partial:{self.name}")
+        self.role_reloading = True
+
+        def body():
+            yield self.engine.timeout(PARTIAL_RECONFIG_NS)
+            if self.state is FpgaState.FAILED:
+                self.role_reloading = False
+                done.fail(ReconfigError(f"{self.name}: failed during partial reconfig"))
+                return
+            self.bitstream = bitstream
+            self.partial_reconfig_count += 1
+            self.role_reloading = False
+            done.succeed(bitstream)
+
+        self.engine.process(body(), name=f"prcfg.{self.name}")
+        return done
+
+    # -- faults -----------------------------------------------------------
+
+    def inject_seu(self, correctable: bool = True) -> None:
+        """Inject a configuration-memory soft error (cosmic ray)."""
+        self.seu.upsets_injected += 1
+        if not correctable:
+            self.seu.uncorrected += 1
+
+    def scrub(self) -> int:
+        """One scrubber pass: repairs all pending correctable upsets.
+
+        Returns the number of upsets repaired.
+        """
+        pending = self.seu.upsets_injected - self.seu.upsets_scrubbed - self.seu.uncorrected
+        self.seu.upsets_scrubbed += max(pending, 0)
+        return max(pending, 0)
+
+    def mark_failed(self) -> None:
+        """Hardware fault: the part needs manual service (§3.5)."""
+        self._set_state(FpgaState.FAILED)
+        self.pll_locked = False
+
+    def repair(self) -> None:
+        """Manual service/replacement completed; back to unconfigured."""
+        self.seu = SeuCounters()
+        self.pll_locked = True
+        self.bitstream = None
+        self._set_state(FpgaState.UNCONFIGURED)
+
+    @property
+    def is_operational(self) -> bool:
+        return self.state == FpgaState.CONFIGURED and self.pll_locked
+
+    def __repr__(self) -> str:
+        return f"<Fpga {self.name} {self.state.value} role={self.configured_role}>"

@@ -1,0 +1,11 @@
+"""Host-side software: the FPGA driver and the user-level slot API (§3.1).
+
+Applications never touch PCIe or DMA details directly; they link the
+user-level library (:class:`SlotClient`) and, for deployment, the
+driver's reconfiguration entry point (:class:`FpgaDriver`).
+"""
+
+from repro.host.driver import FpgaDriver
+from repro.host.slots import SlotClient, SlotLease
+
+__all__ = ["FpgaDriver", "SlotClient", "SlotLease"]

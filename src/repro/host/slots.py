@@ -1,0 +1,109 @@
+"""The user-level slot API (§3.1).
+
+Thread safety comes from static ownership: the buffer is divided into
+64 slots and each thread gets exclusive access to one or more of them.
+A thread sends by filling its input slot and setting the full bit; it
+then sleeps until the FPGA's response interrupt fills the matching
+output slot.
+
+:class:`SlotClient` hands out :class:`SlotLease` objects (one per
+thread) and records per-request latency for the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.fabric.server import Server
+from repro.shell.messages import Packet, PacketKind
+from repro.sim.units import US
+
+# §3.1: the FPGA "generates an interrupt to wake and notify the
+# consumer thread".  Kernel interrupt delivery plus scheduler wakeup of
+# a sleeping thread on a loaded 2012-era server.
+INTERRUPT_WAKE_NS = 25 * US
+
+
+class SlotExhausted(Exception):
+    """More threads than slots — the static assignment cannot be made."""
+
+
+@dataclasses.dataclass
+class SlotLease:
+    """Exclusive use of one input/output slot pair by one thread."""
+
+    client: "SlotClient"
+    slot_id: int
+    requests_sent: int = 0
+    responses_received: int = 0
+    timeouts: int = 0
+
+    def request(
+        self, dst: tuple, size_bytes: int, payload: object = None,
+        timeout_ns: float | None = None,
+    ) -> typing.Generator:
+        """Send one request and wait for its response (generator).
+
+        Yields the response packet's payload, or raises
+        :class:`RequestTimeout` after ``timeout_ns`` — the §3.2 path
+        for dropped packets: "the host will time out and divert the
+        request to a higher-level failure handling protocol".
+        """
+        server = self.client.server
+        engine = server.engine
+        packet = Packet(
+            kind=PacketKind.REQUEST,
+            src=server.node_id,
+            dst=dst,
+            size_bytes=size_bytes,
+            payload=payload,
+            injected_at_ns=engine.now,
+        )
+        self.requests_sent += 1
+        yield server.buffers.fill_input(self.slot_id, packet)
+        consume = server.buffers.consume_output(self.slot_id)
+        if timeout_ns is None:
+            response = yield consume
+        else:
+            from repro.sim import AnyOf
+
+            deadline = engine.timeout(timeout_ns)
+            yield AnyOf(engine, [consume, deadline])
+            if not consume.triggered:
+                self.timeouts += 1
+                raise RequestTimeout(packet.trace_id)
+            response = consume.value
+        # The response interrupt must wake this sleeping thread (§3.1).
+        yield engine.timeout(INTERRUPT_WAKE_NS)
+        self.responses_received += 1
+        latency = engine.now - packet.injected_at_ns
+        self.client.latencies_ns.append(latency)
+        return response
+
+
+class RequestTimeout(Exception):
+    """A request's response never arrived (packet dropped in fabric)."""
+
+
+class SlotClient:
+    """User-level interface to one server's Catapult board."""
+
+    def __init__(self, server: Server):
+        self.server = server
+        self.latencies_ns: list[float] = []
+        self._next_slot = 0
+
+    def lease(self) -> SlotLease:
+        """Allocate the next free slot to a new thread."""
+        if self._next_slot >= self.server.buffers.slot_count:
+            raise SlotExhausted(
+                f"all {self.server.buffers.slot_count} slots are leased"
+            )
+        lease = SlotLease(self, self._next_slot)
+        self._next_slot += 1
+        return lease
+
+    def leases(self, count: int) -> list[SlotLease]:
+        """Allocate ``count`` slots (one per injecting thread)."""
+        return [self.lease() for _ in range(count)]

@@ -1,0 +1,38 @@
+"""The Compression stage (§4.2, Figure 5).
+
+One FPGA between the FFEs and the scorers "increases the efficiency of
+the scoring engines": the sparse feature space (up to 4,484 dynamic
+features + software features + FFE results) is packed into the dense,
+model-specific vector the scoring banks index directly.  Mostly RAM
+(the slot-mapping tables), little logic — matching Table 1's 64 % RAM
+/ 20 % logic for this stage.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class CompressionMap:
+    """Model-specific packing of sparse feature slots to dense indices."""
+
+    def __init__(self, used_slots: typing.Iterable[int]):
+        self.slots = sorted(set(used_slots))
+        if not self.slots:
+            raise ValueError("compression map needs at least one slot")
+        self.index_of = {slot: i for i, slot in enumerate(self.slots)}
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def pack(self, values: typing.Mapping[int, float]) -> list:
+        """Dense vector in slot order; absent features read 0.0."""
+        return [values.get(slot, 0.0) for slot in self.slots]
+
+    def packed_bytes(self) -> int:
+        """Wire size of a packed vector (4-byte floats)."""
+        return 4 * len(self.slots)
+
+    def table_bytes(self) -> int:
+        """Size of the mapping table (Model Reload traffic)."""
+        return 8 * len(self.slots)

@@ -1,0 +1,260 @@
+"""Documents, queries, hit vectors, and the wire codec (§4.1).
+
+Each encoded {document, query} request has three sections:
+
+1. a **header** with basic request parameters (document length, number
+   of query terms, model selector, hit-vector location/length);
+2. the **software-computed features** — {feature id, value} pairs for
+   features not implemented (or not sensible) on the FPGA;
+3. the **hit vector**: for every metastream of the document, the
+   locations of query-term matches, as tuples carrying the offset delta
+   from the previous tuple, the matching term, and other properties.
+
+To save bandwidth, hit-vector tuples are encoded in three sizes —
+two, four or six bytes — selected per tuple.  Compressed documents are
+truncated to 64 KB (the slot size), the only behavioural deviation
+from pure software, affecting ~0.14 % of documents (Figure 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.hardware.constants import DOC_TRUNCATE_BYTES
+
+MAX_STREAMS = 8
+MAX_QUERY_TERMS = 16
+
+_HEADER = struct.Struct("<HBBQIBBHxx")  # 22 bytes
+_MAGIC = 0xCA7A  # "Catapult"
+_VERSION = 1
+_SW_FEATURE = struct.Struct("<Hf")  # feature id + float value
+_STREAM_HEADER = struct.Struct("<BHB")  # stream id, tuple count, flags
+
+
+class CodecError(Exception):
+    """Raised on malformed encodings or out-of-range fields."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    """A search query as the ranking service sees it."""
+
+    query_id: int
+    terms: tuple  # term ids, deduplicated, <= MAX_QUERY_TERMS
+    model_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.terms) <= MAX_QUERY_TERMS:
+            raise ValueError(
+                f"queries carry 1..{MAX_QUERY_TERMS} terms, got {len(self.terms)}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class HitTuple:
+    """One query-term match location within a metastream.
+
+    ``delta`` is the offset from the previous tuple (or stream start),
+    ``term_index`` indexes into the query's term list, ``properties``
+    carries per-hit flags (capitalization, anchor text, etc.).
+    """
+
+    delta: int
+    term_index: int
+    properties: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delta < 0 or self.delta >= 1 << 24:
+            raise ValueError(f"delta out of range: {self.delta}")
+        if not 0 <= self.term_index < 64:
+            raise ValueError(f"term index out of range: {self.term_index}")
+        if not 0 <= self.properties < 1 << 16:
+            raise ValueError(f"properties out of range: {self.properties}")
+
+    @property
+    def encoded_size(self) -> int:
+        """2, 4 or 6 bytes depending on field magnitudes (§4.1)."""
+        if self.delta < 1 << 10 and self.term_index < 16 and self.properties == 0:
+            return 2
+        if self.delta < 1 << 16 and self.properties < 1 << 8:
+            return 4
+        return 6
+
+
+@dataclasses.dataclass
+class StreamHits:
+    """The hit tuples for one metastream."""
+
+    stream_id: int
+    length: int  # metastream length in tokens (for positional features)
+    tuples: list
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.stream_id < MAX_STREAMS:
+            raise ValueError(f"stream id out of range: {self.stream_id}")
+
+
+@dataclasses.dataclass
+class CompressedDocument:
+    """One {document, query} scoring request, pre-encoding."""
+
+    doc_id: int
+    doc_length: int
+    num_query_terms: int
+    model_id: int
+    software_features: list  # (feature_id, float value) pairs
+    streams: list  # StreamHits
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(len(stream.tuples) for stream in self.streams)
+
+
+class DocumentCodec:
+    """Binary encode/decode for scoring requests.
+
+    Tuple wire format (little-endian), selected by a 2-bit tag in the
+    low bits of the first byte:
+
+    * tag 0 (2 B): ``tag:2 | term:4 | delta:10``
+    * tag 1 (4 B): ``tag:2 | term:6 | delta:16 | properties:8``
+    * tag 2 (6 B): ``tag:2 | term:6 | delta:24 | properties:16``
+    """
+
+    truncate_bytes = DOC_TRUNCATE_BYTES
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, document: CompressedDocument, truncate: bool = True) -> bytes:
+        out = bytearray()
+        out += _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            document.model_id,
+            document.doc_id,
+            document.doc_length,
+            document.num_query_terms,
+            len(document.streams),
+            len(document.software_features),
+        )
+        for feature_id, value in document.software_features:
+            out += _SW_FEATURE.pack(feature_id, value)
+        for stream in document.streams:
+            out += _STREAM_HEADER.pack(stream.stream_id, len(stream.tuples), 0)
+            out += self._encode_tuples(stream.tuples)
+        if truncate and len(out) > self.truncate_bytes:
+            return self._truncate(document)
+        return bytes(out)
+
+    def _encode_tuples(self, tuples: list) -> bytes:
+        out = bytearray()
+        for hit in tuples:
+            size = hit.encoded_size
+            if size == 2:
+                word = 0 | (hit.term_index << 2) | (hit.delta << 6)
+                out += word.to_bytes(2, "little")
+            elif size == 4:
+                word = 1 | (hit.term_index << 2) | (hit.delta << 8) | (
+                    hit.properties << 24
+                )
+                out += word.to_bytes(4, "little")
+            else:
+                word = 2 | (hit.term_index << 2) | (hit.delta << 8) | (
+                    hit.properties << 32
+                )
+                out += word.to_bytes(6, "little")
+        return bytes(out)
+
+    def _truncate(self, document: CompressedDocument) -> bytes:
+        """Drop trailing tuples until the encoding fits in 64 KB (§4.1)."""
+        trimmed = CompressedDocument(
+            doc_id=document.doc_id,
+            doc_length=document.doc_length,
+            num_query_terms=document.num_query_terms,
+            model_id=document.model_id,
+            software_features=list(document.software_features),
+            streams=[
+                StreamHits(s.stream_id, s.length, list(s.tuples))
+                for s in document.streams
+            ],
+        )
+        encoded = self.encode(trimmed, truncate=False)
+        while len(encoded) > self.truncate_bytes:
+            victim = max(
+                (s for s in trimmed.streams if s.tuples),
+                key=lambda s: len(s.tuples),
+                default=None,
+            )
+            if victim is None:
+                raise CodecError("request exceeds 64 KB even with no tuples")
+            overshoot = len(encoded) - self.truncate_bytes
+            drop = max(1, overshoot // 6)
+            del victim.tuples[-drop:]
+            encoded = self.encode(trimmed, truncate=False)
+        return encoded
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, data: bytes) -> CompressedDocument:
+        if len(data) < _HEADER.size:
+            raise CodecError(f"short header: {len(data)} bytes")
+        (
+            magic,
+            version,
+            model_id,
+            doc_id,
+            doc_length,
+            num_terms,
+            num_streams,
+            num_sw,
+        ) = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise CodecError(f"bad magic {magic:#x}")
+        if version != _VERSION:
+            raise CodecError(f"unsupported version {version}")
+        offset = _HEADER.size
+        software_features = []
+        for _ in range(num_sw):
+            feature_id, value = _SW_FEATURE.unpack_from(data, offset)
+            software_features.append((feature_id, value))
+            offset += _SW_FEATURE.size
+        streams = []
+        for _ in range(num_streams):
+            stream_id, count, _flags = _STREAM_HEADER.unpack_from(data, offset)
+            offset += _STREAM_HEADER.size
+            tuples, offset = self._decode_tuples(data, offset, count)
+            streams.append(StreamHits(stream_id, length=doc_length, tuples=tuples))
+        return CompressedDocument(
+            doc_id=doc_id,
+            doc_length=doc_length,
+            num_query_terms=num_terms,
+            model_id=model_id,
+            software_features=software_features,
+            streams=streams,
+        )
+
+    def _decode_tuples(self, data: bytes, offset: int, count: int):
+        tuples = []
+        for _ in range(count):
+            tag = data[offset] & 0x3
+            if tag == 0:
+                word = int.from_bytes(data[offset : offset + 2], "little")
+                tuples.append(HitTuple((word >> 6) & 0x3FF, (word >> 2) & 0xF))
+                offset += 2
+            elif tag == 1:
+                word = int.from_bytes(data[offset : offset + 4], "little")
+                tuples.append(
+                    HitTuple((word >> 8) & 0xFFFF, (word >> 2) & 0x3F, word >> 24)
+                )
+                offset += 4
+            elif tag == 2:
+                word = int.from_bytes(data[offset : offset + 6], "little")
+                tuples.append(
+                    HitTuple((word >> 8) & 0xFFFFFF, (word >> 2) & 0x3F, word >> 32)
+                )
+                offset += 6
+            else:
+                raise CodecError(f"bad tuple tag at offset {offset}")
+        return tuples, offset

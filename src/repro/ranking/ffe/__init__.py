@@ -1,0 +1,53 @@
+"""Free-Form Expressions: a custom multicore soft processor (§4.5).
+
+FFEs are mathematical combinations of extracted features — from "add
+two features" up to thousands of operations with conditional execution
+and expensive floating-point operators (ln, pow, divide).  They vary
+too much across models to synthesize datapaths, so the paper built a
+massively multithreaded soft processor: 60 area-efficient cores on one
+D5 FPGA, 4 hardware threads per core arbitrating cycle-by-cycle for
+fully-pipelined functional units, with clusters of 6 cores sharing one
+"complex block" (ln / fpdiv / exp / float-to-int and the feature
+storage tile).
+
+This package implements the whole stack: expression AST, compiler to a
+small register ISA (pow, integer divide and mod are expanded into
+multiple instructions, as in the paper), the static-priority assembler
+(longest expressions to thread slot 0), and an event-driven
+cycle-accounting processor model.
+"""
+
+from repro.ranking.ffe.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Feature,
+    IfThenElse,
+    Metafeature,
+    UnOp,
+)
+from repro.ranking.ffe.isa import Instruction, Opcode, OPCODE_LATENCY, COMPLEX_OPS
+from repro.ranking.ffe.compiler import CompiledExpression, FfeCompiler, CompileError
+from repro.ranking.ffe.assembler import FfeProgram, ThreadAssignment, assemble
+from repro.ranking.ffe.processor import FfeProcessor, ExecutionResult
+
+__all__ = [
+    "BinOp",
+    "COMPLEX_OPS",
+    "CompileError",
+    "CompiledExpression",
+    "Const",
+    "ExecutionResult",
+    "Expr",
+    "Feature",
+    "FfeCompiler",
+    "FfeProcessor",
+    "FfeProgram",
+    "IfThenElse",
+    "Instruction",
+    "Metafeature",
+    "Opcode",
+    "OPCODE_LATENCY",
+    "ThreadAssignment",
+    "UnOp",
+]

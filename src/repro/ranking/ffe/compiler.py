@@ -1,0 +1,226 @@
+"""The FFE compiler: expression AST -> register ISA.
+
+Performs constant folding, expands pow / integer-divide / mod into
+multiple instructions (the hardware has no dedicated units for them,
+§4.5), and allocates the 32 per-thread registers with a simple
+stack-discipline allocator (expression trees release operand registers
+as soon as the producing op retires them).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ranking.ffe.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Feature,
+    IfThenElse,
+    Metafeature,
+    UnOp,
+)
+from repro.ranking.ffe.isa import Instruction, Opcode, REGISTER_COUNT
+
+
+class CompileError(Exception):
+    """Raised when an expression cannot be compiled (register overflow)."""
+
+
+@dataclasses.dataclass
+class CompiledExpression:
+    """A compiled FFE: its instruction stream plus scheduling metadata."""
+
+    output_slot: int  # where the result lands in the FFE output vector
+    instructions: list
+    expected_latency: int  # sum of instruction latencies (priority key)
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.instructions)
+
+
+_SIMPLE_BINOPS = {
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "mul": Opcode.MUL,
+    "min": Opcode.MIN,
+    "max": Opcode.MAX,
+    "div": Opcode.FPDIV,
+}
+
+_SIMPLE_UNOPS = {
+    "ln": Opcode.LN,
+    "exp": Opcode.EXP,
+    "neg": Opcode.NEG,
+    "abs": Opcode.ABS,
+    "ftoi": Opcode.FTOI,
+}
+
+_CMP_OPS = {"lt": Opcode.CMPLT, "le": Opcode.CMPLE, "eq": Opcode.CMPEQ}
+
+
+class FfeCompiler:
+    """Compile expressions to :class:`CompiledExpression` objects."""
+
+    def compile(self, expression: Expr, output_slot: int) -> CompiledExpression:
+        state = _CompileState()
+        result_reg = self._emit(expression, state)
+        state.code.append(Instruction(Opcode.RET, a=result_reg))
+        latency = sum(instr.latency for instr in state.code)
+        return CompiledExpression(
+            output_slot=output_slot,
+            instructions=state.code,
+            expected_latency=latency,
+        )
+
+    # -- recursive emission ----------------------------------------------------
+
+    def _emit(self, node: Expr, state: "_CompileState") -> int:
+        if isinstance(node, Const):
+            dst = state.alloc()
+            state.code.append(Instruction(Opcode.LDC, dst=dst, imm=node.value))
+            return dst
+        if isinstance(node, (Feature, Metafeature)):
+            dst = state.alloc()
+            state.code.append(Instruction(Opcode.LDF, dst=dst, imm=node.slot))
+            return dst
+        if isinstance(node, UnOp):
+            return self._emit_unop(node, state)
+        if isinstance(node, BinOp):
+            return self._emit_binop(node, state)
+        if isinstance(node, IfThenElse):
+            return self._emit_conditional(node, state)
+        raise CompileError(f"cannot compile node {node!r}")
+
+    def _emit_unop(self, node: UnOp, state: "_CompileState") -> int:
+        operand = self._emit(node.operand, state)
+        state.free(operand)
+        dst = state.alloc()
+        state.code.append(Instruction(_SIMPLE_UNOPS[node.op], dst=dst, a=operand))
+        return dst
+
+    def _emit_binop(self, node: BinOp, state: "_CompileState") -> int:
+        # Constant folding: a subtree of constants costs zero cycles.
+        if isinstance(node.left, Const) and isinstance(node.right, Const):
+            dst = state.alloc()
+            state.code.append(
+                Instruction(Opcode.LDC, dst=dst, imm=node.evaluate({}))
+            )
+            return dst
+        if node.op in _SIMPLE_BINOPS:
+            a = self._emit(node.left, state)
+            b = self._emit(node.right, state)
+            state.free(a)
+            state.free(b)
+            dst = state.alloc()
+            state.code.append(Instruction(_SIMPLE_BINOPS[node.op], dst=dst, a=a, b=b))
+            return dst
+        if node.op == "pow":
+            return self._emit_pow(node, state)
+        if node.op == "idiv":
+            return self._emit_idiv(node, state)
+        if node.op == "mod":
+            return self._emit_mod(node, state)
+        raise CompileError(f"unknown binop {node.op!r}")
+
+    def _emit_pow(self, node: BinOp, state: "_CompileState") -> int:
+        """pow(a, b) = exp(b * ln(|a|)), zero-safe (§4.5 expansion)."""
+        a = self._emit(node.left, state)
+        b = self._emit(node.right, state)
+        abs_a = state.alloc()
+        state.code.append(Instruction(Opcode.ABS, dst=abs_a, a=a))
+        ln_a = state.alloc()
+        state.code.append(Instruction(Opcode.LN, dst=ln_a, a=abs_a))
+        state.free(abs_a)
+        prod = state.alloc()
+        state.code.append(Instruction(Opcode.MUL, dst=prod, a=b, b=ln_a))
+        state.free(ln_a)
+        state.free(b)
+        exp_reg = state.alloc()
+        state.code.append(Instruction(Opcode.EXP, dst=exp_reg, a=prod))
+        state.free(prod)
+        # Zero-safe: pow(0, b) must be 0, matching the evaluator.
+        zero = state.alloc()
+        state.code.append(Instruction(Opcode.LDC, dst=zero, imm=0.0))
+        is_zero = state.alloc()
+        state.code.append(Instruction(Opcode.CMPEQ, dst=is_zero, a=a, b=zero))
+        state.free(a)
+        dst = state.alloc()
+        state.code.append(
+            Instruction(Opcode.SEL, dst=dst, a=is_zero, b=zero, c=exp_reg)
+        )
+        state.free(is_zero)
+        state.free(zero)
+        state.free(exp_reg)
+        return dst
+
+    def _emit_idiv(self, node: BinOp, state: "_CompileState") -> int:
+        """idiv(a, b) = ftoi(a / b) — no integer divider in hardware."""
+        a = self._emit(node.left, state)
+        b = self._emit(node.right, state)
+        state.free(a)
+        state.free(b)
+        quotient = state.alloc()
+        state.code.append(Instruction(Opcode.FPDIV, dst=quotient, a=a, b=b))
+        state.free(quotient)
+        dst = state.alloc()
+        state.code.append(Instruction(Opcode.FTOI, dst=dst, a=quotient))
+        return dst
+
+    def _emit_mod(self, node: BinOp, state: "_CompileState") -> int:
+        """mod(a, b) = a - b * ftoi(a / b)."""
+        a = self._emit(node.left, state)
+        b = self._emit(node.right, state)
+        quotient = state.alloc()
+        state.code.append(Instruction(Opcode.FPDIV, dst=quotient, a=a, b=b))
+        trunc = state.alloc()
+        state.code.append(Instruction(Opcode.FTOI, dst=trunc, a=quotient))
+        state.free(quotient)
+        product = state.alloc()
+        state.code.append(Instruction(Opcode.MUL, dst=product, a=b, b=trunc))
+        state.free(trunc)
+        state.free(b)
+        dst = state.alloc()
+        state.code.append(Instruction(Opcode.SUB, dst=dst, a=a, b=product))
+        state.free(product)
+        state.free(a)
+        return dst
+
+    def _emit_conditional(self, node: IfThenElse, state: "_CompileState") -> int:
+        """Predicated execution: both arms computed, SEL picks (§4.5)."""
+        a = self._emit(node.left, state)
+        b = self._emit(node.right, state)
+        predicate = state.alloc()
+        state.code.append(Instruction(_CMP_OPS[node.cmp], dst=predicate, a=a, b=b))
+        state.free(a)
+        state.free(b)
+        then_reg = self._emit(node.then, state)
+        else_reg = self._emit(node.orelse, state)
+        state.free(then_reg)
+        state.free(else_reg)
+        dst = state.alloc()
+        state.code.append(
+            Instruction(Opcode.SEL, dst=dst, a=predicate, b=then_reg, c=else_reg)
+        )
+        state.free(predicate)
+        return dst
+
+
+class _CompileState:
+    """Register free-list plus the emitted code."""
+
+    def __init__(self) -> None:
+        self.code: list = []
+        self._free = list(range(REGISTER_COUNT - 1, -1, -1))
+
+    def alloc(self) -> int:
+        if not self._free:
+            raise CompileError(
+                f"expression needs more than {REGISTER_COUNT} registers; "
+                "split it across FFE stages with a metafeature"
+            )
+        return self._free.pop()
+
+    def free(self, register: int) -> None:
+        self._free.append(register)

@@ -1,0 +1,190 @@
+"""The FFE expression language (AST) and its reference evaluator.
+
+Expressions read extracted features (and metafeatures computed by an
+upstream FFE stage, §4.5) and combine them arithmetically, including
+conditional execution and the complex operators ln, exp, pow, divide.
+The reference evaluator defines the semantics the compiled ISA must
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def evaluate(self, features: typing.Mapping[int, float]) -> float:
+        raise NotImplementedError
+
+    def operation_count(self) -> int:
+        """Number of arithmetic operations (latency heuristic input)."""
+        raise NotImplementedError
+
+    # Operator sugar keeps model-construction code readable.
+    def __add__(self, other: "Expr") -> "Expr":
+        return BinOp("add", self, _wrap(other))
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return BinOp("sub", self, _wrap(other))
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return BinOp("mul", self, _wrap(other))
+
+    def __truediv__(self, other: "Expr") -> "Expr":
+        return BinOp("div", self, _wrap(other))
+
+
+def _wrap(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(float(value))
+
+
+@dataclasses.dataclass(frozen=True)
+class Const(Expr):
+    value: float
+
+    def evaluate(self, features) -> float:
+        return self.value
+
+    def operation_count(self) -> int:
+        return 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Feature(Expr):
+    """Read one feature slot (absent features read as 0.0)."""
+
+    slot: int
+
+    def evaluate(self, features) -> float:
+        return features.get(self.slot, 0.0)
+
+    def operation_count(self) -> int:
+        return 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Metafeature(Expr):
+    """An intermediate result computed by an upstream FFE stage (§4.5).
+
+    Downstream stages read it "like any other feature, effectively
+    replacing that part of the expression with a simple feature read".
+    """
+
+    index: int
+
+    def evaluate(self, features) -> float:
+        return features.get(self.slot, 0.0)
+
+    @property
+    def slot(self) -> int:
+        return METAFEATURE_BASE + self.index
+
+    def operation_count(self) -> int:
+        return 1
+
+
+# Metafeatures live above the dynamic + software feature spaces.
+METAFEATURE_BASE = 1 << 16
+
+_BINOPS: dict[str, typing.Callable[[float, float], float]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b if b != 0.0 else 0.0,  # hardware-safe divide
+    "min": min,
+    "max": max,
+    "pow": lambda a, b: _safe_pow(a, b),
+    "idiv": lambda a, b: float(int(a / b)) if b != 0.0 else 0.0,
+    "mod": lambda a, b: a - b * float(int(a / b)) if b != 0.0 else 0.0,
+}
+
+_UNOPS: dict[str, typing.Callable[[float], float]] = {
+    "ln": lambda a: math.log(a) if a > 0.0 else 0.0,  # hardware-safe ln
+    "exp": lambda a: math.exp(min(a, 700.0)),
+    "neg": lambda a: -a,
+    "abs": abs,
+    "ftoi": lambda a: float(int(a)),
+}
+
+
+def _safe_pow(a: float, b: float) -> float:
+    if a == 0.0:
+        return 0.0
+    if a < 0.0:
+        a = abs(a)  # hardware uses |a|: exp(b*ln(a)) expansion
+    return math.exp(min(b * math.log(a), 700.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def evaluate(self, features) -> float:
+        return _BINOPS[self.op](
+            self.left.evaluate(features), self.right.evaluate(features)
+        )
+
+    def operation_count(self) -> int:
+        extra = {"pow": 3, "idiv": 2, "mod": 3}.get(self.op, 1)
+        return extra + self.left.operation_count() + self.right.operation_count()
+
+
+@dataclasses.dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _UNOPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def evaluate(self, features) -> float:
+        return _UNOPS[self.op](self.operand.evaluate(features))
+
+    def operation_count(self) -> int:
+        return 1 + self.operand.operation_count()
+
+
+@dataclasses.dataclass(frozen=True)
+class IfThenElse(Expr):
+    """Conditional execution: ``then`` if ``left cmp right`` else ``orelse``."""
+
+    cmp: str  # "lt" | "le" | "eq"
+    left: Expr
+    right: Expr
+    then: Expr
+    orelse: Expr
+
+    def __post_init__(self) -> None:
+        if self.cmp not in ("lt", "le", "eq"):
+            raise ValueError(f"unknown comparison {self.cmp!r}")
+
+    def evaluate(self, features) -> float:
+        a = self.left.evaluate(features)
+        b = self.right.evaluate(features)
+        taken = {"lt": a < b, "le": a <= b, "eq": a == b}[self.cmp]
+        # Both arms evaluate (predicated execution, no branches on HW).
+        then_val = self.then.evaluate(features)
+        else_val = self.orelse.evaluate(features)
+        return then_val if taken else else_val
+
+    def operation_count(self) -> int:
+        return (
+            2
+            + self.left.operation_count()
+            + self.right.operation_count()
+            + self.then.operation_count()
+            + self.orelse.operation_count()
+        )

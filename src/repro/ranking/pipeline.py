@@ -1,0 +1,235 @@
+"""Deploying and driving the ranking service on a pod (§4, §5).
+
+``ranking_service`` builds the :class:`ServiceDefinition` mapping the
+eight ranking roles (Figure 5) onto a ring, with bitstreams synthesized
+from the Table-1-calibrated component library.  :class:`RankingPipeline`
+wraps deployment and provides the injection machinery the evaluation
+benches use: closed-loop injector threads that perform the software
+portion of scoring (SSD lookup, hit-vector computation — §4) before
+injecting to the local FPGA, and latency/throughput collection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.analysis import LatencyStats, ThroughputMeter
+from repro.fabric.pod import Pod
+from repro.fabric.server import Server
+from repro.hardware.synthesis import synthesize
+from repro.host.slots import RequestTimeout, SlotClient
+from repro.ranking.engine import ScoringEngine
+from repro.ranking.models import ModelLibrary
+from repro.ranking.stages import (
+    CompressionRole,
+    FeatureExtractionRole,
+    FfeRole,
+    RankingPayload,
+    ScoringRole,
+    SpareRankingRole,
+)
+from repro.services.mapping_manager import (
+    MappingManager,
+    RingAssignment,
+    RoleSpec,
+    ServiceDefinition,
+)
+from repro.sim import Engine, Event
+from repro.sim.units import US
+
+if typing.TYPE_CHECKING:  # pragma: no cover - avoids a package cycle
+    from repro.workloads.traces import ScoringRequest
+
+# Host-side software portion per request (§4): SSD metastream fetch and
+# hit-vector computation + encoding on a CPU core.
+SSD_LOOKUP_NS = 20 * US
+HOST_PREP_CPU_NS = 30 * US
+
+# Component counts per role, calibrated so synthesis lands on Table 1.
+ROLE_COMPONENTS: dict[str, dict[str, int]] = {
+    "fe": {
+        "fe.state_machine": 43,
+        "fe.stream_processor": 1,
+        "fe.gathering_network": 1,
+    },
+    "ffe0": {"ffe.core": 60, "ffe.complex_block": 10, "ffe.feature_store": 10},
+    "ffe1": {"ffe.core": 60, "ffe.complex_block": 10, "ffe.feature_store": 10},
+    "compress": {"compress.engine": 1},
+    "score0": {"score.tree_bank": 40, "score.evaluator": 1},
+    "score1": {"score.tree_bank": 40, "score.evaluator": 1},
+    "score2": {"score.tree_bank": 41, "score.evaluator": 1},
+    "spare": {"spare.passthrough": 1},
+}
+
+ROLE_ORDER = ("fe", "ffe0", "ffe1", "compress", "score0", "score1", "score2")
+SPARE_NAME = "spare"
+
+_ROLE_CLASSES = {
+    "fe": FeatureExtractionRole,
+    "ffe0": FfeRole,
+    "ffe1": FfeRole,
+    "compress": CompressionRole,
+    "score0": ScoringRole,
+    "score1": ScoringRole,
+    "score2": ScoringRole,
+    "spare": SpareRankingRole,
+}
+
+
+def ranking_bitstreams() -> dict[str, object]:
+    """Synthesize every ranking role; returns {role: (bitstream, report)}."""
+    return {
+        role: synthesize(role, components)
+        for role, components in ROLE_COMPONENTS.items()
+    }
+
+
+def ranking_service(
+    scoring_engine: ScoringEngine, qm_policy: str = "batch"
+) -> ServiceDefinition:
+    """The 7-active-roles-plus-spare service of Figure 5."""
+    synthesized = ranking_bitstreams()
+
+    def make_factory(role_name: str):
+        role_class = _ROLE_CLASSES[role_name]
+
+        def factory(assignment: RingAssignment, name: str):
+            # Stash shared context on the assignment for the stages.
+            assignment.scoring_engine = scoring_engine
+            assignment.qm_policy = qm_policy
+            return role_class(assignment, name)
+
+        return factory
+
+    roles = tuple(
+        RoleSpec(
+            name=role_name,
+            bitstream=synthesized[role_name][0],
+            factory=make_factory(role_name),
+        )
+        for role_name in ROLE_ORDER
+    )
+    spare = RoleSpec(
+        name=SPARE_NAME,
+        bitstream=synthesized[SPARE_NAME][0],
+        factory=make_factory(SPARE_NAME),
+    )
+    return ServiceDefinition(name="bing-ranking", roles=roles, spare=spare)
+
+
+@dataclasses.dataclass
+class InjectorStats:
+    """Results from one injector (a server's worth of threads)."""
+
+    latencies_ns: list
+    timeouts: int
+    completed: int
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.latencies_ns)
+
+
+class RankingPipeline:
+    """One deployed ranking ring plus its injection helpers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pod: Pod,
+        library: ModelLibrary,
+        ring_x: int = 0,
+        qm_policy: str = "batch",
+    ):
+        self.engine = engine
+        self.pod = pod
+        self.library = library
+        self.ring_x = ring_x
+        self.scoring_engine = ScoringEngine(library)
+        self.mapping_manager = MappingManager(engine, pod)
+        self.service = ranking_service(self.scoring_engine, qm_policy)
+        self.assignment: RingAssignment | None = None
+        self.meter = ThroughputMeter(engine)
+
+    # -- deployment ------------------------------------------------------------
+
+    def deploy(self) -> RingAssignment:
+        done = self.mapping_manager.deploy(self.service, self.ring_x)
+        self.assignment = self.engine.run_until(done)
+        return self.assignment
+
+    @property
+    def head_node(self):
+        return self.assignment.head_node()
+
+    def stage_role(self, role_name: str):
+        node = self.assignment.node_of(role_name)
+        return self.pod.server_at(node).shell.role
+
+    # -- injection ---------------------------------------------------------------
+
+    def make_request_pool(
+        self, count: int, seed: int = 1, model_mix: dict | None = None
+    ) -> list:
+        from repro.workloads.traces import TraceGenerator
+
+        generator = TraceGenerator(seed=seed, model_mix=model_mix)
+        return [generator.request() for _ in range(count)]
+
+    def spawn_injector(
+        self,
+        server: Server,
+        threads: int,
+        pool: list,
+        requests_per_thread: int,
+        include_prep: bool = True,
+        timeout_ns: float = 1e9,
+    ) -> tuple[Event, InjectorStats]:
+        """Closed-loop injection from ``server`` with ``threads`` threads.
+
+        Each thread repeatedly: does the software portion (SSD +
+        hit-vector prep on a core, §4) when ``include_prep``, fills its
+        slot, and sleeps until the score interrupt.  Returns a
+        completion event plus the stats object (filled in-place).
+        """
+        client = SlotClient(server)
+        stats = InjectorStats(latencies_ns=[], timeouts=0, completed=0)
+        pool_cycle = itertools.cycle(pool)
+        finished: list = []
+        done = self.engine.event(name=f"injector:{server.machine_id}")
+
+        def thread_body(lease) -> typing.Generator:
+            for _ in range(requests_per_thread):
+                request = next(pool_cycle)
+                started = self.engine.now
+                if include_prep:
+                    yield server.engine.timeout(SSD_LOOKUP_NS)
+                    yield from server.run_on_core(HOST_PREP_CPU_NS)
+                payload = RankingPayload(document=request.document)
+                try:
+                    yield from lease.request(
+                        dst=self.head_node,
+                        size_bytes=request.size_bytes,
+                        payload=payload,
+                        timeout_ns=timeout_ns,
+                    )
+                except RequestTimeout:
+                    stats.timeouts += 1
+                    continue
+                stats.latencies_ns.append(self.engine.now - started)
+                stats.completed += 1
+                self.meter.record()
+
+        def waiter(procs) -> typing.Generator:
+            from repro.sim import AllOf
+
+            yield AllOf(self.engine, procs)
+            done.succeed(stats)
+
+        procs = [
+            self.engine.process(thread_body(lease), name=f"inj.{server.machine_id}")
+            for lease in client.leases(threads)
+        ]
+        self.engine.process(waiter(procs))
+        return done, stats

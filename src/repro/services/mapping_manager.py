@@ -1,0 +1,236 @@
+"""The Mapping Manager (§3.3–§3.5).
+
+Responsible for configuring FPGAs with the correct application images
+when a datacenter service starts, releasing RX-Halt once every FPGA of
+a pipeline is configured (§3.4), and — when the Health Monitor updates
+the failed-machine list — deciding where to relocate application roles:
+rotating the ring onto the spare, reconfiguring in place for transient
+errors, or mapping out bad hardware entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.fabric.pod import Pod
+from repro.fabric.server import Server
+from repro.fabric.torus import NodeId
+from repro.hardware.bitstream import Bitstream
+from repro.host.driver import FpgaDriver
+from repro.shell.role import Role
+from repro.sim import AllOf, Engine, Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.health_monitor import HealthReport
+
+
+class InsufficientRingCapacity(Exception):
+    """More failed nodes than spares: the service cannot stay mapped."""
+
+
+RoleFactory = typing.Callable[["RingAssignment", str], Role]
+
+
+@dataclasses.dataclass(frozen=True)
+class RoleSpec:
+    """One pipeline stage: its name, image, and role constructor."""
+
+    name: str
+    bitstream: Bitstream
+    factory: RoleFactory
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceDefinition:
+    """An accelerated service: ordered active roles plus a spare image."""
+
+    name: str
+    roles: tuple
+    spare: RoleSpec
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.roles] + [self.spare.name]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate role names in service {self.name!r}")
+
+
+class RingAssignment:
+    """The current mapping of a service's roles onto ring nodes."""
+
+    def __init__(self, service: ServiceDefinition, pod: Pod, ring_nodes: list[NodeId]):
+        if len(ring_nodes) < len(service.roles):
+            raise InsufficientRingCapacity(
+                f"service {service.name!r} needs {len(service.roles)} nodes, "
+                f"ring has {len(ring_nodes)}"
+            )
+        self.service = service
+        self.pod = pod
+        self.ring_nodes = list(ring_nodes)
+        self.excluded: set[NodeId] = set()  # mapped-out hardware
+        self.role_to_node: dict[str, NodeId] = {}
+        self.version = 0
+        self.recompute()
+
+    def recompute(self) -> None:
+        """Assign roles to healthy ring nodes in ring order.
+
+        Active roles land on the first healthy nodes; every remaining
+        healthy node hosts the spare image.  This is the "rotate the
+        ring upon a machine failure" operation (§4.2).
+        """
+        healthy = [node for node in self.ring_nodes if node not in self.excluded]
+        if len(healthy) < len(self.service.roles):
+            raise InsufficientRingCapacity(
+                f"service {self.service.name!r}: {len(healthy)} healthy nodes "
+                f"for {len(self.service.roles)} roles"
+            )
+        self.role_to_node = {}
+        for spec, node in zip(self.service.roles, healthy):
+            self.role_to_node[spec.name] = node
+        self.spare_nodes = healthy[len(self.service.roles):]
+        self.version += 1
+
+    # -- queries used by roles ------------------------------------------------
+
+    def node_of(self, role_name: str) -> NodeId:
+        return self.role_to_node[role_name]
+
+    def downstream_of(self, role_name: str) -> NodeId | None:
+        """The node hosting the next active stage, if any."""
+        names = [spec.name for spec in self.service.roles]
+        index = names.index(role_name)
+        if index + 1 < len(names):
+            return self.role_to_node[names[index + 1]]
+        return None
+
+    def head_node(self) -> NodeId:
+        return self.role_to_node[self.service.roles[0].name]
+
+    def spec_for_node(self, node: NodeId) -> RoleSpec:
+        for spec in self.service.roles:
+            if self.role_to_node.get(spec.name) == node:
+                return spec
+        return self.service.spare
+
+    def exclude(self, node: NodeId) -> None:
+        if node not in self.ring_nodes:
+            raise ValueError(f"{node} is not part of this ring")
+        self.excluded.add(node)
+        self.recompute()
+
+
+class MappingManager:
+    """Pod-level service deployment and failure response."""
+
+    def __init__(self, engine: Engine, pod: Pod):
+        self.engine = engine
+        self.pod = pod
+        self.assignments: list[RingAssignment] = []
+        self._drivers: dict[str, FpgaDriver] = {}
+        self.deployments = 0
+        self.relocations = 0
+        self.in_place_reconfigs = 0
+
+    def driver_for(self, server: Server) -> FpgaDriver:
+        if server.machine_id not in self._drivers:
+            self._drivers[server.machine_id] = FpgaDriver(server)
+        return self._drivers[server.machine_id]
+
+    # -- deployment (§3.3) -------------------------------------------------------
+
+    def deploy(self, service: ServiceDefinition, ring_x: int) -> Event:
+        """Deploy ``service`` onto ring ``ring_x``; yields the assignment.
+
+        Every *other* pod FPGA that is still unconfigured receives the
+        spare image: "when a service is deployed, each server is
+        designated to run a specific application on its local FPGA"
+        (§3.1), and the torus cannot route through unconfigured parts.
+        """
+        ring_nodes = [server.node_id for server in self.pod.ring(ring_x)]
+        assignment = RingAssignment(service, self.pod, ring_nodes)
+        self.assignments.append(assignment)
+        done = self.engine.event(name=f"deploy:{service.name}")
+        nodes = [node for node in ring_nodes if node not in assignment.excluded]
+        for node, server in self.pod.servers.items():
+            if node not in ring_nodes and server.fpga.configured_role is None:
+                nodes.append(node)
+        self.engine.process(self._configure_body(assignment, nodes, done))
+        self.deployments += 1
+        return done
+
+    def _configure_body(
+        self, assignment: RingAssignment, nodes: list[NodeId], done: Event
+    ) -> typing.Generator:
+        """Reconfigure ``nodes`` with their assigned images, then release
+        RX-Halt everywhere — only once ALL pipeline FPGAs are configured
+        (§3.4)."""
+        reconfigs = []
+        for node in nodes:
+            server = self.pod.server_at(node)
+            spec = assignment.spec_for_node(node)
+            driver = self.driver_for(server)
+            reconfigs.append(driver.reconfigure(spec.bitstream))
+        try:
+            yield AllOf(self.engine, reconfigs)
+        except Exception as exc:
+            done.fail(exc)
+            return
+        for node in nodes:
+            server = self.pod.server_at(node)
+            spec = assignment.spec_for_node(node)
+            server.shell.attach_role(spec.factory(assignment, spec.name))
+        # "The Mapping Manager tells each server to release RX Halt once
+        # all FPGAs in a pipeline have been configured."  Release is
+        # pod-wide: responses route through nodes outside the ring.
+        for node, server in self.pod.servers.items():
+            if node not in assignment.excluded and server.fpga.configured_role:
+                server.shell.release_rx_halt()
+        done.succeed(assignment)
+
+    # -- failure handling (§3.5) ----------------------------------------------------
+
+    def handle_failures(self, report: "HealthReport") -> Event:
+        """React to a Health Monitor report; returns a completion event."""
+        done = self.engine.event(name="mapping-failures")
+        self.engine.process(self._handle_failures_body(report, done))
+        return done
+
+    def _handle_failures_body(self, report: "HealthReport", done) -> typing.Generator:
+        for assignment in self.assignments:
+            relocate_nodes = []
+            reconfig_nodes = []
+            for diagnosis in report.failed_machines:
+                if diagnosis.node_id not in assignment.ring_nodes:
+                    continue
+                if diagnosis.node_id in assignment.excluded:
+                    continue
+                if diagnosis.marked_dead or diagnosis.flags.needs_relocation:
+                    relocate_nodes.append(diagnosis.node_id)
+                elif diagnosis.flags.needs_reconfig_only:
+                    reconfig_nodes.append(diagnosis.node_id)
+            if relocate_nodes:
+                for node in relocate_nodes:
+                    assignment.exclude(node)
+                self.relocations += 1
+                # Reconfigure the whole surviving ring: clears corrupted
+                # state and installs the rotated mapping.
+                survivors = [
+                    node
+                    for node in assignment.ring_nodes
+                    if node not in assignment.excluded
+                ]
+                finished = self.engine.event()
+                yield from self._configure_body(assignment, survivors, finished)
+            elif reconfig_nodes:
+                # Reconfiguring in place is sufficient (§3.5).
+                self.in_place_reconfigs += 1
+                finished = self.engine.event()
+                yield from self._configure_body(assignment, reconfig_nodes, finished)
+        done.succeed(report)
+
+    def assignment_for(self, service_name: str) -> RingAssignment:
+        for assignment in self.assignments:
+            if assignment.service.name == service_name:
+                return assignment
+        raise KeyError(f"no assignment for service {service_name!r}")

@@ -1,0 +1,37 @@
+"""The shell: reusable programmable logic common across applications (§3.2).
+
+The shell/role split is the paper's key productivity abstraction.  The
+shell owns everything board- and system-level — PCIe+DMA, two DRAM
+controllers, four SL3 link cores, the inter-FPGA router, the RSU
+reconfiguration unit, the SEU scrubber and the Flight Data Recorder —
+while the role (application logic) sees only clean queue interfaces.
+"""
+
+from repro.shell.messages import Packet, PacketKind, TraceIds
+from repro.shell.fdr import FdrEntry, FlightDataRecorder
+from repro.shell.sl3 import LinkStats, Sl3Config, Sl3Link
+from repro.shell.router import Port, Router, RoutingError
+from repro.shell.pcie import HostDmaBuffers, PcieCore, SlotError
+from repro.shell.role import Role, PassthroughRole
+from repro.shell.shell import Shell, ShellConfig
+
+__all__ = [
+    "FdrEntry",
+    "FlightDataRecorder",
+    "HostDmaBuffers",
+    "LinkStats",
+    "Packet",
+    "PacketKind",
+    "PassthroughRole",
+    "PcieCore",
+    "Port",
+    "Role",
+    "Router",
+    "RoutingError",
+    "Shell",
+    "ShellConfig",
+    "Sl3Config",
+    "Sl3Link",
+    "SlotError",
+    "TraceIds",
+]

@@ -1,0 +1,108 @@
+"""The role: application logic hosted by the shell (§3.2).
+
+Role designers "access convenient and well-defined interfaces and
+capabilities in the shell (e.g., PCIe, DRAM, routing) without concern
+for managing system correctness".  Concretely a role:
+
+* receives packets the router delivers to the ROLE port via
+  :meth:`handle` (a generator, so handling can take simulated time);
+* sends packets with :meth:`send`, which enters the shell router;
+* is subject to corruption if garbage traffic reaches it — the hazard
+  the TX/RX-Halt protocol exists to prevent.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.shell.messages import Packet, PacketKind
+from repro.shell.router import Port
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.shell.shell import Shell
+
+
+class Role:
+    """Base class for application roles."""
+
+    name = "role"
+
+    def __init__(self) -> None:
+        self.shell: "Shell | None" = None
+        self.corrupted = False
+        self.app_error = False  # reported in the health vector
+        self.packets_handled = 0
+        self.process = None  # the receive-loop Process once attached
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, shell: "Shell") -> None:
+        """Bind to a shell and start the receive loop."""
+        self.shell = shell
+        self.process = shell.engine.process(
+            self._receive_loop(), name=f"role.{self.name}@{shell.node_id}"
+        )
+        self.on_attach()
+
+    def detach(self) -> None:
+        """Stop the receive loop (role being replaced by reconfiguration)."""
+        if self.process is not None and self.process.is_alive:
+            self.process.kill()
+        self.process = None
+        self.shell = None
+
+    def on_attach(self) -> None:
+        """Hook for subclasses (start extra processes, load state)."""
+
+    # -- data path ------------------------------------------------------------
+
+    def _receive_loop(self) -> typing.Generator:
+        assert self.shell is not None
+        queue = self.shell.router.output_queues[Port.ROLE]
+        while True:
+            packet: Packet = yield queue.get()
+            if packet.kind is PacketKind.GARBAGE:
+                # Garbage that reaches the role corrupts its state (§3.4).
+                self.corrupted = True
+                self.app_error = True
+                continue
+            self.packets_handled += 1
+            yield from self.handle(packet)
+
+    def handle(self, packet: Packet) -> typing.Generator:
+        """Process one packet; override in subclasses.  Must be a generator."""
+        if False:  # pragma: no cover - makes the default a generator
+            yield
+        return
+
+    def send(self, packet: Packet):
+        """Send a packet into the fabric; returns an event to yield."""
+        if self.shell is None:
+            raise RuntimeError(f"role {self.name} is not attached to a shell")
+        return self.shell.send_from_role(packet)
+
+    def reset(self) -> None:
+        """Reconfiguration clears role state (called by the shell)."""
+        self.corrupted = False
+        self.app_error = False
+
+    def __repr__(self) -> str:
+        return f"<Role {self.name} handled={self.packets_handled}>"
+
+
+class PassthroughRole(Role):
+    """Forwards requests to a fixed next hop; used by spare nodes and tests."""
+
+    name = "passthrough"
+
+    def __init__(self, next_hop: tuple | None = None, delay_ns: float = 0.0):
+        super().__init__()
+        self.next_hop = next_hop
+        self.delay_ns = delay_ns
+
+    def handle(self, packet: Packet) -> typing.Generator:
+        if self.delay_ns:
+            yield self.shell.engine.timeout(self.delay_ns)
+        if self.next_hop is not None:
+            packet.dst = self.next_hop
+            yield self.send(packet)

@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, coroutine-based simulation engine in the style
+of SimPy, purpose-built for the Catapult reproduction.  Components are
+Python generators that ``yield`` waitable events; the :class:`Engine`
+advances virtual time (float nanoseconds) in causal order.
+
+The kernel is intentionally self-contained so every hardware and
+software model in the repository shares one notion of time, ordering,
+and randomness.
+"""
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.rng import RngStreams
+from repro.sim.stores import PriorityStore, Store, StoreFull
+from repro.sim.resources import Resource
+from repro.sim.units import MS, NS, SEC, US, cycles_to_ns, ns_to_us
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "MS",
+    "NS",
+    "PriorityStore",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "RngStreams",
+    "SEC",
+    "SimulationError",
+    "Store",
+    "StoreFull",
+    "Timeout",
+    "US",
+    "cycles_to_ns",
+    "ns_to_us",
+]

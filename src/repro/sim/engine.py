@@ -1,0 +1,158 @@
+"""The simulation engine: a causally ordered event loop.
+
+Time is a float in nanoseconds.  Determinism is guaranteed by a
+monotonic tie-break sequence number on every scheduled entry, so two
+runs with the same seed produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event, Timeout
+from repro.sim.rng import RngStreams
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """Discrete-event engine owning the clock, the queue, and the RNG.
+
+    Typical use::
+
+        eng = Engine(seed=42)
+
+        def worker(eng):
+            yield eng.timeout(5.0)
+            return "done"
+
+        proc = eng.process(worker(eng))
+        eng.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = RngStreams(seed)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+        self._nondaemon_pending = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        if when < self.now:
+            raise SimulationError(f"cannot schedule at {when} < now {self.now}")
+        self._seq += 1
+        event._scheduled = True
+        if not getattr(event, "_daemon", False):
+            self._nondaemon_pending += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+
+    def mark_daemon(self, event: Event) -> None:
+        """Tag a pending event as daemon work.
+
+        Daemon events (periodic background services like the SEU
+        scrubber) do not keep :meth:`run` alive: a bare ``run()``
+        returns once only daemon work remains.  ``run(until=...)``
+        still executes daemon events up to the deadline.  A daemon
+        process must not be a required link in a non-daemon dataflow
+        chain — handoffs to daemons may be left undispatched by a
+        bare ``run()``.
+        """
+        if not getattr(event, "_daemon", False):
+            event._daemon = True
+            if getattr(event, "_scheduled", False):
+                self._nondaemon_pending -= 1
+
+    def _schedule_trigger(self, event: Event) -> None:
+        """Schedule dispatch of an already-triggered event at ``now``."""
+        self._schedule_at(self.now, event)
+
+    # -- factories -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: typing.Generator, name: str = "", daemon: bool = False
+    ) -> "Process":
+        """Spawn a new process from a generator.
+
+        ``daemon=True`` marks background periodic work that should not
+        keep a bare :meth:`run` alive.
+        """
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name, daemon=daemon)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self.now = when
+        if not getattr(event, "_daemon", False):
+            self._nondaemon_pending -= 1
+        if not event.triggered:
+            # A Timeout reaching its deadline triggers lazily, here.
+            event._value = getattr(event, "_timeout_value", None)
+        event._dispatch()
+        event._dispatched = True
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains or simulated time passes ``until``.
+
+        Returns the simulation time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._queue:
+                if until is None and self._nondaemon_pending <= 0:
+                    break  # only daemon (periodic background) work remains
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def run_until(self, event: Event) -> object:
+        """Run until ``event`` triggers; returns its value (raises on fail).
+
+        Raises :class:`SimulationError` if the queue drains first.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(f"queue drained before {event!r} triggered")
+            self.step()
+        # Drain same-timestamp callbacks so observers see a settled state.
+        while self._queue and self._queue[0][0] == self.now:
+            self.step()
+        return event.value
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending scheduled entries (diagnostic)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"<Engine t={self.now:.1f}ns queue={len(self._queue)}>"

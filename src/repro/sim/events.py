@@ -1,0 +1,177 @@
+"""Waitable events for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence.  Processes wait on events by
+``yield``-ing them; the engine resumes the process when the event
+triggers.  Events may succeed with a value or fail with an exception
+(which is re-raised inside every waiting process).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+# Sentinel distinguishing "not yet triggered" from "triggered with None".
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable occurrence.
+
+    Callbacks are invoked by the engine in trigger order at the trigger
+    timestamp.  An event can only be triggered once; triggering twice is
+    a programming error and raises ``RuntimeError``.
+    """
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self.callbacks: list[typing.Callable[[Event], None]] = []
+        self.cancelled = False  # abandoned by its waiter (kill/interrupt)
+        self._value: object = _PENDING
+        self._exception: BaseException | None = None
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (triggered without exception)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> object:
+        """The success value; raises if pending or failed."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise RuntimeError(f"event {self!r} has not been triggered")
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        self._value = value
+        self.engine._schedule_trigger(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._exception = exception
+        self._value = None
+        self.engine._schedule_trigger(self)
+        return self
+
+    # -- engine plumbing -------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Run callbacks; called exactly once by the engine."""
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+        """Register ``callback``; fired immediately if already dispatched."""
+        if self._dispatched:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    _dispatched = False
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else ("failed" if self.triggered else "pending")
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed simulated delay."""
+
+    def __init__(self, engine: "Engine", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(engine, name=f"Timeout({delay})")
+        self.delay = delay
+        self._timeout_value = value
+        engine._schedule_at(engine.now + delay, self)
+
+
+class ConditionValue(dict):
+    """Mapping of event -> value for AllOf/AnyOf results."""
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
+        super().__init__(engine, name=self.__class__.__name__)
+        self.events = list(events)
+        if not self.events:
+            self.succeed(ConditionValue())
+            return
+        for event in self.events:
+            if event.triggered:
+                self._on_child(event)
+                if self.triggered:
+                    return
+            else:
+                event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        if self._is_satisfied():
+            self.succeed(self._collect())
+
+    def _is_satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> ConditionValue:
+        values = ConditionValue()
+        for event in self.events:
+            if event.ok:
+                values[event] = event._value
+        return values
+
+
+class AllOf(_Condition):
+    """Succeeds when every child event has succeeded."""
+
+    def _is_satisfied(self) -> bool:
+        return all(event.ok for event in self.events)
+
+
+class AnyOf(_Condition):
+    """Succeeds when at least one child event has succeeded."""
+
+    def _is_satisfied(self) -> bool:
+        return any(event.ok for event in self.events)

@@ -1,0 +1,128 @@
+"""Coroutine processes.
+
+A process wraps a generator that yields :class:`~repro.sim.events.Event`
+objects.  The process is itself an event, so processes can wait for each
+other by yielding them (a *join*).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process that has been forcibly killed."""
+
+
+class Process(Event):
+    """A running simulation coroutine.
+
+    The generator may ``return`` a value, which becomes the process's
+    event value, observable by any process that yields (joins) it.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: typing.Generator,
+        name: str = "",
+        daemon: bool = False,
+    ):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self.daemon = daemon
+        self._waiting_on: Event | None = None
+        # Kick-start on the next engine dispatch at the current time.
+        start = Event(engine, name=f"start:{self.name}")
+        start.add_callback(self._resume)
+        start.succeed()
+        if daemon:
+            engine.mark_daemon(start)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    # -- stepping --------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return  # process already finished; stale wakeup
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # superseded by an interrupt; ignore the old event
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self.callbacks and not isinstance(exc, ProcessKilled):
+                # Nobody is joining this process: surface the crash loudly
+                # rather than failing an event no-one observes.
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.generator.close()
+            raise TypeError(f"process {self.name!r} yielded non-event {target!r}")
+        if self.daemon and not target.triggered:
+            self.engine.mark_daemon(target)
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    # -- control ---------------------------------------------------------
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        If the awaited event has already triggered, the process is about
+        to wake anyway and the interrupt is dropped (benign race).
+        """
+        if self.triggered:
+            return
+        waiting_on = self._waiting_on
+        if waiting_on is not None:
+            if waiting_on.triggered:
+                return  # normal wakeup already in flight
+            # Detach from (and cancel) the event we were waiting on so
+            # stores/resources do not hand work to a departed waiter.
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            waiting_on.cancelled = True
+        poke = Event(self.engine, name=f"interrupt:{self.name}")
+        self._waiting_on = poke
+        poke.add_callback(self._resume)
+        poke.fail(Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process unconditionally."""
+        if self.triggered:
+            return
+        waiting_on = self._waiting_on
+        if waiting_on is not None and not waiting_on.triggered:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            waiting_on.cancelled = True
+        self._waiting_on = None
+        self.generator.close()
+        self.fail(ProcessKilled(self.name))
+
+    def __repr__(self) -> str:
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

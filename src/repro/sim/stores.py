@@ -1,0 +1,156 @@
+"""FIFO and priority stores (bounded queues) for producer/consumer flows.
+
+``Store.put`` and ``Store.get`` return events; processes yield them.
+Bounded stores apply backpressure: a ``put`` into a full store blocks
+until a consumer makes room — this is how Xon/Xoff flow control and
+DMA staging buffers are modelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import typing
+from collections import deque
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class StoreFull(Exception):
+    """Raised by non-blocking ``try_put`` on a full store."""
+
+
+class Store:
+    """A FIFO queue with optional capacity.
+
+    Items are delivered to getters in arrival order; waiting getters are
+    served in request order (fairness matters for the DMA fairness
+    modelling).
+    """
+
+    def __init__(self, engine: "Engine", capacity: float = math.inf, name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.items: deque = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, object]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    # -- blocking API ------------------------------------------------------
+
+    def put(self, item: object) -> Event:
+        """Return an event that succeeds once ``item`` is enqueued."""
+        event = Event(self.engine, name=f"put:{self.name}")
+        if not self.is_full and not self._putters:
+            self._enqueue(item)
+            event.succeed(item)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        event = Event(self.engine, name=f"get:{self.name}")
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_waiting_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    # -- non-blocking API ---------------------------------------------------
+
+    def try_put(self, item: object) -> None:
+        """Enqueue immediately or raise :class:`StoreFull`."""
+        if self.is_full:
+            raise StoreFull(self.name)
+        self._enqueue(item)
+
+    def try_get(self) -> object | None:
+        """Dequeue immediately, or return None if empty."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._admit_waiting_putters()
+        return item
+
+    # -- internals -----------------------------------------------------------
+
+    def _pop_live_getter(self):
+        """Next getter whose process has not been killed/interrupted."""
+        while self._getters:
+            event = self._getters.popleft()
+            if not event.cancelled:
+                return event
+        return None
+
+    def _enqueue(self, item: object) -> None:
+        getter = self._pop_live_getter()
+        if getter is not None:
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def _admit_waiting_putters(self) -> None:
+        while self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            if event.cancelled:
+                continue  # putter departed; drop its item
+            self._enqueue(item)
+            event.succeed(item)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.__class__.__name__} {self.name} {len(self.items)}/"
+            f"{self.capacity} getters={len(self._getters)}>"
+        )
+
+
+class PriorityStore(Store):
+    """A store that delivers the smallest item first.
+
+    Items must be orderable; use ``(priority, seq, payload)`` tuples to
+    guarantee a total order.
+    """
+
+    def __init__(self, engine: "Engine", capacity: float = math.inf, name: str = ""):
+        super().__init__(engine, capacity, name)
+        self.items: list = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _enqueue(self, item: object) -> None:
+        getter = self._pop_live_getter()
+        if getter is not None:
+            getter.succeed(item)
+        else:
+            heapq.heappush(self.items, item)
+
+    def get(self) -> Event:
+        event = Event(self.engine, name=f"get:{self.name}")
+        if self.items:
+            event.succeed(heapq.heappop(self.items))
+            self._admit_waiting_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> object | None:
+        if not self.items:
+            return None
+        item = heapq.heappop(self.items)
+        self._admit_waiting_putters()
+        return item

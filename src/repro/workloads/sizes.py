@@ -1,0 +1,55 @@
+"""Compressed-document size distribution (Figure 4).
+
+Figure 4's CDF over a 210 Kdoc production sample shows documents
+averaging 6.5 KB compressed, a 99th percentile of 53 KB, and only
+~300 of 210,000 (0.14 %) above the 64 KB truncation threshold.
+
+A log-normal fits this shape well.  Solving
+``mean = exp(mu + sigma^2/2)`` and ``p99 = exp(mu + 2.3263*sigma)``
+for the paper's anchors gives ``mu = 8.053, sigma = 1.2246``; we trim
+the extreme tail (cap at 128 KB) so the >64 KB mass lands near the
+paper's 0.14 % rather than the unconstrained log-normal's ~0.6 %.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class DocumentSizeDistribution:
+    """Sampler for compressed {document,query} request sizes in bytes."""
+
+    MU = 8.053
+    SIGMA = 1.2246
+    CAP_BYTES = 128 * 1024
+    # Thin the >64 KB tail: keep 1 in TAIL_THINNING of oversized draws,
+    # resampling the rest, to land near the paper's 0.14 %.
+    TAIL_THRESHOLD = 64 * 1024
+    TAIL_THINNING = 5
+    MIN_BYTES = 256  # header + a handful of tuples
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def sample(self) -> int:
+        """One compressed request size in bytes."""
+        while True:
+            size = int(self.rng.lognormvariate(self.MU, self.SIGMA))
+            if size > self.TAIL_THRESHOLD:
+                if self.rng.randrange(self.TAIL_THINNING) != 0:
+                    continue  # resample: tail thinned
+                size = min(size, self.CAP_BYTES)
+            return max(size, self.MIN_BYTES)
+
+    def sample_many(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]
+
+    @classmethod
+    def theoretical_mean(cls) -> float:
+        """Mean of the untrimmed log-normal (the Figure 4 anchor)."""
+        return math.exp(cls.MU + cls.SIGMA**2 / 2)
+
+    @classmethod
+    def theoretical_p99(cls) -> float:
+        return math.exp(cls.MU + 2.3263 * cls.SIGMA)

@@ -1,0 +1,122 @@
+"""Tests for the analysis utilities: stats, meters, tables."""
+
+import pytest
+
+from repro.analysis import (
+    LatencyStats,
+    ThroughputMeter,
+    cdf_points,
+    format_series,
+    format_table,
+    percentile,
+)
+from repro.sim import Engine
+
+
+def test_percentile_interpolation():
+    samples = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(samples, 0) == 10.0
+    assert percentile(samples, 100) == 40.0
+    assert percentile(samples, 50) == 25.0
+    assert percentile(samples, 25) == pytest.approx(17.5)
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 95) == 7.0
+
+
+def test_percentile_unsorted_input():
+    assert percentile([30.0, 10.0, 20.0], 50) == 20.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+def test_latency_stats_fields():
+    samples = [float(i) for i in range(1, 1001)]
+    stats = LatencyStats.from_samples(samples)
+    assert stats.count == 1000
+    assert stats.mean == pytest.approx(500.5)
+    assert stats.p50 == pytest.approx(500.5)
+    assert stats.p95 == pytest.approx(950.05, rel=0.01)
+    assert stats.p99 == pytest.approx(990.01, rel=0.01)
+    assert stats.max == 1000.0
+
+
+def test_latency_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        LatencyStats.from_samples([])
+
+
+def test_latency_stats_scaled():
+    stats = LatencyStats.from_samples([2.0, 4.0]).scaled(0.5)
+    assert stats.mean == pytest.approx(1.5)
+    assert stats.max == 2.0
+
+
+def test_cdf_points_monotone():
+    points = cdf_points([5.0, 1.0, 3.0], points=10)
+    values = [v for v, _ in points]
+    fracs = [f for _, f in points]
+    assert values == sorted(values)
+    assert fracs[-1] == 1.0
+    with pytest.raises(ValueError):
+        cdf_points([])
+
+
+def test_throughput_meter_basic():
+    eng = Engine()
+    meter = ThroughputMeter(eng)
+
+    def worker(eng, meter):
+        for _ in range(10):
+            yield eng.timeout(1e8)  # one per 0.1 s
+            meter.record()
+
+    eng.process(worker(eng, meter))
+    eng.run()
+    assert meter.count == 10
+    assert meter.per_second == pytest.approx(10.0, rel=0.01)
+
+
+def test_throughput_meter_warmup_window():
+    eng = Engine()
+    meter = ThroughputMeter(eng)
+
+    def worker(eng, meter):
+        for i in range(10):
+            yield eng.timeout(1e8)
+            meter.record()
+            if i == 4:
+                meter.start_measurement()
+
+    eng.process(worker(eng, meter))
+    eng.run()
+    assert meter.warm_count == 5
+    assert meter.per_second == pytest.approx(10.0, rel=0.01)
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "long_header"], [[1, 2.5], ["xx", 0.001]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "long_header" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_format_table_title_and_floats():
+    table = format_table(["x"], [[1234.5678], [0.004]], title="T")
+    assert table.startswith("T\n")
+    assert "1.23e+03" in table or "1234" in table
+
+
+def test_format_series_columns():
+    out = format_series("n", {"a": [1, 2], "b": [3, 4]}, [10, 20], title="S")
+    lines = out.splitlines()
+    assert lines[0] == "S"
+    assert lines[1].split() == ["n", "a", "b"]
+    assert lines[3].split() == ["10", "1", "3"]

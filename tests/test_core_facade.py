@@ -1,0 +1,94 @@
+"""Tests for the CatapultFabric facade and the loopback harness."""
+
+import pytest
+
+from repro.core import CatapultFabric, LoopbackHarness, LoopbackMode
+from repro.fabric import TorusTopology
+from repro.ranking.engine import ScoringEngine
+from repro.ranking.models import ModelLibrary
+from repro.services import FailureInjector, FailureKind
+from repro.sim import Engine
+from repro.workloads import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def fabric_with_ranking():
+    fabric = CatapultFabric(
+        pods=1, topology=TorusTopology(width=2, height=8), seed=31
+    )
+    pipeline = fabric.deploy_ranking(ring=0, model_scale=0.03)
+    return fabric, pipeline
+
+
+def test_facade_builds_and_deploys(fabric_with_ranking):
+    fabric, pipeline = fabric_with_ranking
+    assert pipeline.assignment is not None
+    assert pipeline.head_node == (0, 0)
+    assert fabric.pod(0).topology.node_count == 16
+
+
+def test_facade_reuses_managers(fabric_with_ranking):
+    fabric, _pipeline = fabric_with_ranking
+    assert fabric.mapping_manager(0) is fabric.mapping_manager(0)
+    assert fabric.health_monitor(0) is fabric.health_monitor(0)
+    assert fabric.health_monitor(0).mapping_manager is fabric.mapping_manager(0)
+
+
+def test_facade_health_check(fabric_with_ranking):
+    fabric, _pipeline = fabric_with_ranking
+    report = fabric.check_health([(0, 0), (0, 1)])
+    assert len(report.diagnoses) == 2
+    assert not report.failed_machines
+
+
+def test_facade_end_to_end_failure_recovery():
+    fabric = CatapultFabric(
+        pods=1, topology=TorusTopology(width=2, height=8), seed=32
+    )
+    pipeline = fabric.deploy_ranking(ring=0, model_scale=0.03)
+    victim = pipeline.assignment.node_of("compress")
+    FailureInjector(fabric.pod(0)).inject(FailureKind.FPGA_HARDWARE_FAULT, victim)
+    report = fabric.check_health([victim])
+    assert report.failed_machines
+    assert victim in pipeline.assignment.excluded
+    assert fabric.mapping_manager(0).relocations == 1
+
+
+def test_loopback_harness_pcie_vs_sl3():
+    library = ModelLibrary.default(scale=0.03)
+    pool = [TraceGenerator(seed=61).request() for _ in range(6)]
+
+    rates = {}
+    for mode in (LoopbackMode.PCIE, LoopbackMode.SL3):
+        eng = Engine(seed=33)
+        scoring = ScoringEngine(library)
+        for request in pool:
+            scoring.score(request.document, library[request.document.model_id])
+        harness = LoopbackHarness(eng, "compress", scoring)
+        rates[mode] = harness.measure_throughput(
+            pool, mode, threads=1, requests_per_thread=8
+        )
+    assert rates[LoopbackMode.PCIE] > 0
+    # The SL3 path adds two link crossings: strictly slower.
+    assert rates[LoopbackMode.SL3] < rates[LoopbackMode.PCIE]
+
+
+def test_loopback_harness_rejects_unknown_stage():
+    library = ModelLibrary.default(scale=0.03)
+    with pytest.raises(ValueError):
+        LoopbackHarness(Engine(), "bogus", ScoringEngine(library))
+
+
+def test_loopback_fe_stage_works():
+    library = ModelLibrary.default(scale=0.03)
+    pool = [TraceGenerator(seed=62).request() for _ in range(4)]
+    eng = Engine(seed=34)
+    scoring = ScoringEngine(library)
+    for request in pool:
+        scoring.score(request.document, library[request.document.model_id])
+    harness = LoopbackHarness(eng, "fe", scoring)
+    rate = harness.measure_throughput(
+        pool, LoopbackMode.PCIE, threads=2, requests_per_thread=4
+    )
+    assert rate > 0
+    assert harness.role.queue_manager.dispatched == 8

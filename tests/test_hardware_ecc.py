@@ -1,0 +1,94 @@
+"""Property and unit tests for the SECDED and CRC-32 codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.ecc import CODE_BITS, Crc32, DecodeStatus, SecDedCodec
+
+codec = SecDedCodec()
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+positions = st.integers(min_value=0, max_value=CODE_BITS - 1)
+
+
+@settings(max_examples=200)
+@given(data=words)
+def test_roundtrip_clean(data):
+    result = codec.decode(codec.encode(data))
+    assert result.status is DecodeStatus.CLEAN
+    assert result.data == data
+
+
+@settings(max_examples=200)
+@given(data=words, pos=positions)
+def test_single_bit_error_corrected(data, pos):
+    corrupted = codec.encode(data) ^ (1 << pos)
+    result = codec.decode(corrupted)
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == data
+    assert result.flipped_position == pos
+
+
+@settings(max_examples=200)
+@given(data=words, pos1=positions, pos2=positions)
+def test_double_bit_error_detected(data, pos1, pos2):
+    if pos1 == pos2:
+        return  # two flips at the same bit cancel; not a double error
+    corrupted = codec.encode(data) ^ (1 << pos1) ^ (1 << pos2)
+    result = codec.decode(corrupted)
+    assert result.status is DecodeStatus.UNCORRECTABLE
+
+
+def test_encode_rejects_oversized_data():
+    with pytest.raises(ValueError):
+        codec.encode(1 << 64)
+    with pytest.raises(ValueError):
+        codec.encode(-1)
+
+
+def test_decode_rejects_oversized_codeword():
+    with pytest.raises(ValueError):
+        codec.decode(1 << 72)
+
+
+def test_overall_parity_bit_flip_is_correctable():
+    data = 0xDEADBEEFCAFEF00D
+    corrupted = codec.encode(data) ^ 1  # bit 0 is the overall parity
+    result = codec.decode(corrupted)
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == data
+    assert result.flipped_position == 0
+
+
+def test_codeword_is_72_bits():
+    assert codec.encode((1 << 64) - 1) < (1 << 72)
+
+
+# --- CRC-32 ---------------------------------------------------------------
+
+
+def test_crc32_known_vector():
+    # The canonical IEEE 802.3 check value for "123456789".
+    assert Crc32().checksum(b"123456789") == 0xCBF43926
+
+
+def test_crc32_empty():
+    assert Crc32().checksum(b"") == 0
+
+
+def test_crc32_verify():
+    crc = Crc32()
+    payload = b"catapult fabric"
+    assert crc.verify(payload, crc.checksum(payload))
+    assert not crc.verify(payload + b"!", crc.checksum(payload))
+
+
+@settings(max_examples=100)
+@given(payload=st.binary(min_size=1, max_size=256), flip=st.data())
+def test_crc32_detects_any_single_byte_change(payload, flip):
+    crc = Crc32()
+    index = flip.draw(st.integers(0, len(payload) - 1))
+    delta = flip.draw(st.integers(1, 255))
+    corrupted = bytearray(payload)
+    corrupted[index] ^= delta
+    assert crc.checksum(bytes(corrupted)) != crc.checksum(payload)

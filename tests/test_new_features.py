@@ -1,0 +1,245 @@
+"""Tests for the neural scorer, YX routing, watchdog, and trace replay."""
+
+import pytest
+
+from repro.analysis import replay_trace
+from repro.fabric import CrashSeverity, Pod, TorusTopology
+from repro.fabric.torus import dor_routes, yx_routes
+from repro.ranking.engine import ScoringEngine
+from repro.ranking.models import ModelLibrary, synthesize_model
+from repro.ranking.scoring import NeuralScorer
+from repro.services import HealthMonitor
+from repro.shell.router import Port
+from repro.sim import Engine, SEC
+from repro.workloads import TraceGenerator
+
+TOPO = TorusTopology()
+
+
+# --- neural scorer ---------------------------------------------------------------
+
+
+def small_mlp():
+    return NeuralScorer(
+        weights=[[0.5, -0.25], [0.1, 0.9], [-0.4, 0.2], [0.3, 0.3]],
+        hidden_bias=[0.0, 0.1, -0.1, 0.2],
+        output_weights=[1.0, -0.5, 0.25, 0.75],
+        output_bias=0.125,
+    )
+
+
+def test_mlp_banks_sum_to_full_score():
+    scorer = small_mlp()
+    packed = [1.5, -0.75]
+    total = sum(scorer.evaluate_bank(i, packed) for i in range(3))
+    assert total == pytest.approx(scorer.evaluate(packed))
+
+
+def test_mlp_output_bias_rides_bank_two():
+    scorer = small_mlp()
+    zero_input = [0.0, 0.0]
+    bank2_only = scorer.evaluate_bank(2, zero_input)
+    # With zero input, tanh(bias) terms remain; the output bias is in
+    # bank 2 exactly once.
+    assert scorer.evaluate(zero_input) == pytest.approx(
+        sum(scorer.evaluate_bank(i, zero_input) for i in range(3))
+    )
+    assert bank2_only != scorer.evaluate_bank(0, zero_input)
+
+
+def test_mlp_validation():
+    with pytest.raises(ValueError):
+        NeuralScorer(weights=[], hidden_bias=[], output_weights=[])
+    with pytest.raises(ValueError):
+        NeuralScorer(weights=[[1.0]], hidden_bias=[0.0, 1.0], output_weights=[1.0])
+    with pytest.raises(ValueError):
+        small_mlp().evaluate_bank(3, [0.0])
+
+
+def test_mlp_model_scores_end_to_end():
+    model = synthesize_model(
+        5, "mlp-model", seed=11, metafeatures=6, stage1_expressions=30,
+        trees=40, scorer_kind="mlp",
+    )
+    assert isinstance(model.scorer, NeuralScorer)
+    engine = ScoringEngine(ModelLibrary([model]))
+    request = TraceGenerator(seed=12).request()
+    score = engine.score(request.document, model)
+    partials = sum(engine.bank_partial(request.document, model, b) for b in range(3))
+    assert partials == pytest.approx(score)
+    assert model.footprint.scoring_bytes[0] > 0
+
+
+def test_unknown_scorer_kind_rejected():
+    with pytest.raises(ValueError):
+        synthesize_model(6, "bad", scorer_kind="svm")
+
+
+# --- YX routing -----------------------------------------------------------------------
+
+
+def test_yx_routes_first_dimension_y():
+    routes = yx_routes(TOPO, (0, 0))
+    assert routes[(3, 3)] is Port.SOUTH  # Y resolved before X
+    assert routes[(3, 0)] is Port.EAST  # same row: X only
+    assert routes[(0, 5)] is Port.NORTH  # dy=5 of 8: shorter northward
+
+
+def test_yx_walk_reaches_destination():
+    src, dst = (1, 2), (4, 6)
+    node = src
+    hops = 0
+    while node != dst:
+        port = yx_routes(TOPO, node)[dst]
+        node = TOPO.neighbor(node, port)
+        hops += 1
+        assert hops <= 16
+    assert hops == TOPO.hop_distance(src, dst)
+
+
+def test_pod_with_yx_policy_delivers():
+    eng = Engine(seed=51)
+    pod = Pod(eng, topology=TorusTopology(width=3, height=4), routing_policy="yx")
+    pod.release_all_rx_halts()
+    from repro.host import SlotClient
+    from repro.shell import Role
+
+    class Echo(Role):
+        name = "echo"
+
+        def handle(self, packet):
+            yield self.shell.engine.timeout(100.0)
+            yield self.send(packet.response_to(16, "yx-ok"))
+
+    pod.server_at((2, 3)).shell.attach_role(Echo())
+    lease = SlotClient(pod.server_at((0, 0))).lease()
+    got = []
+
+    def thread():
+        response = yield from lease.request(dst=(2, 3), size_bytes=512)
+        got.append(response.payload)
+
+    eng.process(thread())
+    eng.run()
+    assert got == ["yx-ok"]
+
+
+def test_reprogram_routes_switches_policy():
+    eng = Engine(seed=52)
+    pod = Pod(eng, topology=TorusTopology(width=3, height=4))
+    before = pod.server_at((0, 0)).shell.router.routing_table[(2, 3)]
+    pod.reprogram_routes("yx")
+    after = pod.server_at((0, 0)).shell.router.routing_table[(2, 3)]
+    assert pod.routing_policy == "yx"
+    # (0,0)->(2,3): XY goes WEST first (wrap), YX goes NORTH first (wrap).
+    assert before is not after
+    with pytest.raises(ValueError):
+        pod.reprogram_routes("zigzag")
+
+
+def test_pod_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        Pod(Engine(), topology=TorusTopology(width=2, height=2), routing_policy="na")
+
+
+# --- watchdog --------------------------------------------------------------------------
+
+
+def test_watchdog_recovers_crashed_server_automatically():
+    eng = Engine(seed=53)
+    pod = Pod(eng, topology=TorusTopology(width=2, height=2))
+    monitor = HealthMonitor(eng, pod)
+    monitor.start_watchdog(list(pod.servers), period_ns=5 * SEC)
+    victim = pod.server_at((1, 1))
+    victim.crash(CrashSeverity.TRANSIENT)
+    eng.run(until=120 * SEC)
+    assert victim.is_responsive  # soft-rebooted by the watchdog
+    assert monitor.watchdog_reports
+    assert monitor.watchdog_reports[0].diagnoses[0].reboots_performed == 1
+
+
+def test_watchdog_does_not_block_engine_drain():
+    eng = Engine(seed=54)
+    pod = Pod(eng, topology=TorusTopology(width=2, height=2))
+    monitor = HealthMonitor(eng, pod)
+    monitor.start_watchdog(list(pod.servers), period_ns=1 * SEC)
+    eng.run()  # daemon: returns immediately with nothing else pending
+    assert eng.now == 0.0
+    monitor.stop_watchdog()
+
+
+def test_watchdog_double_start_rejected():
+    eng = Engine(seed=55)
+    pod = Pod(eng, topology=TorusTopology(width=2, height=2))
+    monitor = HealthMonitor(eng, pod)
+    monitor.start_watchdog([(0, 0)])
+    with pytest.raises(RuntimeError):
+        monitor.start_watchdog([(0, 0)])
+
+
+# --- trace replay -----------------------------------------------------------------------
+
+
+def test_replay_reconstructs_packet_path():
+    eng = Engine(seed=56)
+    pod = Pod(eng, topology=TorusTopology(width=4, height=2))
+    pod.release_all_rx_halts()
+    from repro.host import SlotClient
+    from repro.shell import Role
+
+    class Echo(Role):
+        name = "echo"
+
+        def handle(self, packet):
+            yield self.shell.engine.timeout(100.0)
+            yield self.send(packet.response_to(16, "done"))
+
+    pod.server_at((2, 0)).shell.attach_role(Echo())
+    lease = SlotClient(pod.server_at((0, 0))).lease()
+    trace_ids = []
+
+    def thread():
+        response = yield from lease.request(dst=(2, 0), size_bytes=2048)
+        trace_ids.append(response.trace_id)
+
+    eng.process(thread())
+    eng.run()
+    replay = replay_trace(pod, trace_ids[0])
+    # Request: (0,0)->(1,0)->(2,0); response retraces. >= 4 sightings.
+    assert replay.hop_count >= 4
+    assert replay.nodes_visited()[0] == (0, 0)
+    assert (2, 0) in replay.nodes_visited()
+    assert replay.total_latency_ns > 0
+    assert "trace" in replay.format()
+    assert replay.stalls(threshold_ns=1e12) == []  # nothing hung
+
+
+def test_replay_exposes_stall_at_hung_stage():
+    eng = Engine(seed=57)
+    pod = Pod(eng, topology=TorusTopology(width=4, height=2))
+    pod.release_all_rx_halts()
+    from repro.host import SlotClient
+    from repro.shell import Role
+
+    class SlowRole(Role):
+        name = "slow"
+
+        def handle(self, packet):
+            yield self.shell.engine.timeout(5_000_000.0)  # a 5 ms "hang"
+            yield self.send(packet.response_to(16, "late"))
+
+    pod.server_at((2, 0)).shell.attach_role(SlowRole())
+    lease = SlotClient(pod.server_at((0, 0))).lease()
+    trace_ids = []
+
+    def thread():
+        response = yield from lease.request(dst=(2, 0), size_bytes=1024)
+        trace_ids.append(response.trace_id)
+
+    eng.process(thread())
+    eng.run()
+    replay = replay_trace(pod, trace_ids[0])
+    stalls = replay.stalls(threshold_ns=1_000_000.0)
+    assert stalls  # the hang shows up as a gap
+    _before, after, gap = stalls[0]
+    assert gap >= 5_000_000.0 * 0.9

@@ -1,0 +1,218 @@
+"""Cross-cutting property tests (hypothesis) on system invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.torus import TorusTopology, dor_routes, yx_routes
+from repro.ranking.compression import CompressionMap
+from repro.ranking.documents import HitTuple
+from repro.ranking.ffe import BinOp, Const, Feature, FfeCompiler, assemble
+from repro.ranking.scoring import BoostedTreeScorer, DecisionTree, TreeNode
+from repro.shell.router import Port
+from repro.sim import Engine, Store
+
+
+# --- torus geometry ---------------------------------------------------------------
+
+torus_strategy = st.builds(
+    TorusTopology, width=st.integers(2, 8), height=st.integers(2, 10)
+)
+_OPPOSITE = {
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+}
+
+
+@settings(max_examples=60, deadline=None)
+@given(topo=torus_strategy, data=st.data())
+def test_neighbor_is_involutive(topo, data):
+    """Stepping through a port and back through its opposite returns home."""
+    x = data.draw(st.integers(0, topo.width - 1))
+    y = data.draw(st.integers(0, topo.height - 1))
+    for port in (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH):
+        there = topo.neighbor((x, y), port)
+        back = topo.neighbor(there, _OPPOSITE[port])
+        assert back == (x, y)
+
+
+@settings(max_examples=60, deadline=None)
+@given(topo=torus_strategy, data=st.data())
+def test_hop_distance_symmetric_and_triangle(topo, data):
+    def node():
+        return (
+            data.draw(st.integers(0, topo.width - 1)),
+            data.draw(st.integers(0, topo.height - 1)),
+        )
+
+    a, b, c = node(), node(), node()
+    assert topo.hop_distance(a, b) == topo.hop_distance(b, a)
+    assert topo.hop_distance(a, c) <= topo.hop_distance(a, b) + topo.hop_distance(b, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(topo=torus_strategy, data=st.data())
+def test_both_routing_policies_realize_shortest_paths(topo, data):
+    src = (
+        data.draw(st.integers(0, topo.width - 1)),
+        data.draw(st.integers(0, topo.height - 1)),
+    )
+    dst = (
+        data.draw(st.integers(0, topo.width - 1)),
+        data.draw(st.integers(0, topo.height - 1)),
+    )
+    if src == dst:
+        return
+    for policy in (dor_routes, yx_routes):
+        node = src
+        hops = 0
+        while node != dst:
+            node = topo.neighbor(node, policy(topo, node)[dst])
+            hops += 1
+            assert hops <= topo.width + topo.height
+        assert hops == topo.hop_distance(src, dst)
+
+
+# --- wire codec size selection ------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(
+    delta=st.integers(0, (1 << 24) - 1),
+    term=st.integers(0, 63),
+    props=st.integers(0, (1 << 16) - 1),
+)
+def test_tuple_encoding_is_minimal(delta, term, props):
+    """The encoder always picks the smallest format that fits (§4.1)."""
+    hit = HitTuple(delta, term, props)
+    size = hit.encoded_size
+    fits_2 = delta < (1 << 10) and term < 16 and props == 0
+    fits_4 = delta < (1 << 16) and props < (1 << 8)
+    if fits_2:
+        assert size == 2
+    elif fits_4:
+        assert size == 4
+    else:
+        assert size == 6
+
+
+# --- scorer banks --------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_trees=st.integers(1, 40),
+    values=st.lists(st.floats(-4, 4, allow_nan=False, width=16), min_size=3, max_size=3),
+)
+def test_tree_banks_partition_exactly(n_trees, values):
+    def leaf(v):
+        return TreeNode(value=v)
+
+    trees = [
+        DecisionTree(
+            TreeNode(feature=0, threshold=0.5, left=leaf(v), right=leaf(-v))
+        )
+        for v in (values * ((n_trees // 3) + 1))[:n_trees]
+    ]
+    scorer = BoostedTreeScorer(trees)
+    # Every tree is in exactly one bank.
+    assert sum(len(scorer.bank(i)) for i in range(3)) == n_trees
+    seen = [id(t) for i in range(3) for t in scorer.bank(i)]
+    assert len(set(seen)) == n_trees
+    # Partials always reassemble the full score.
+    packed = [0.25]
+    assert sum(scorer.evaluate_bank(i, packed) for i in range(3)) == pytest.approx(
+        scorer.evaluate(packed)
+    )
+
+
+# --- FFE assembler ---------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_exprs=st.integers(1, 120),
+    cores=st.integers(1, 16),
+    threads=st.integers(1, 4),
+)
+def test_assembler_assigns_every_expression_exactly_once(n_exprs, cores, threads):
+    compiler = FfeCompiler()
+    exprs = [
+        compiler.compile(BinOp("add", Feature(0), Const(float(i))), slot)
+        for i, slot in enumerate(range(n_exprs))
+    ]
+    program = assemble(exprs, core_count=cores, threads_per_core=threads)
+    slots_out = [
+        e.output_slot for thread in program.threads for e in thread.expressions
+    ]
+    assert sorted(slots_out) == list(range(n_exprs))
+    # Static priority: thread heads are sorted by descending latency
+    # across the slot-0 threads in core order.
+    heads = [
+        thread.expressions[0].expected_latency
+        for thread in program.threads
+        if thread.slot == 0 and thread.expressions
+    ]
+    assert heads == sorted(heads, reverse=True)
+
+
+# --- compression map -----------------------------------------------------------------
+
+
+@settings(max_examples=60)
+@given(
+    slots=st.sets(st.integers(0, 5_000), min_size=1, max_size=200),
+    data=st.data(),
+)
+def test_compression_pack_preserves_values(slots, data):
+    cmap = CompressionMap(slots)
+    values = {
+        slot: data.draw(st.floats(-100, 100, allow_nan=False, width=16))
+        for slot in data.draw(st.sets(st.sampled_from(sorted(slots)), max_size=50))
+    }
+    packed = cmap.pack(values)
+    assert len(packed) == len(cmap)
+    for slot, value in values.items():
+        assert packed[cmap.index_of[slot]] == value
+    # Unreferenced slots read zero.
+    for i, slot in enumerate(cmap.slots):
+        if slot not in values:
+            assert packed[i] == 0.0
+
+
+# --- store under interleaved producers ----------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.integers(), min_size=1, max_size=5), min_size=1, max_size=6
+    )
+)
+def test_store_multi_producer_conservation(batches):
+    """No loss, no duplication, per-producer FIFO order preserved."""
+    eng = Engine()
+    store = Store(eng, capacity=3)
+    received = []
+    total = sum(len(batch) for batch in batches)
+
+    def producer(eng, store, tag, items):
+        for item in items:
+            yield store.put((tag, item))
+            yield eng.timeout(1.0)
+
+    def consumer(eng, store):
+        for _ in range(total):
+            value = yield store.get()
+            received.append(value)
+
+    for tag, batch in enumerate(batches):
+        eng.process(producer(eng, store, tag, batch))
+    eng.process(consumer(eng, store))
+    eng.run()
+    assert len(received) == total
+    for tag, batch in enumerate(batches):
+        mine = [item for t, item in received if t == tag]
+        assert mine == batch  # per-producer order held

@@ -1,0 +1,196 @@
+"""Tests for the document model, wire codec, and workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranking.documents import (
+    CompressedDocument,
+    DocumentCodec,
+    HitTuple,
+    MAX_STREAMS,
+    Query,
+    StreamHits,
+)
+from repro.ranking.documents import CodecError
+from repro.workloads import DocumentSizeDistribution, TraceGenerator
+
+import random
+
+codec = DocumentCodec()
+
+
+def make_doc(streams, sw=None, model_id=0):
+    return CompressedDocument(
+        doc_id=7,
+        doc_length=500,
+        num_query_terms=4,
+        model_id=model_id,
+        software_features=sw if sw is not None else [(0, 1.5), (3, -2.25)],
+        streams=streams,
+    )
+
+
+# --- tuples -------------------------------------------------------------------
+
+
+def test_tuple_size_selection():
+    assert HitTuple(delta=5, term_index=3).encoded_size == 2
+    assert HitTuple(delta=1023, term_index=15).encoded_size == 2
+    assert HitTuple(delta=1024, term_index=0).encoded_size == 4
+    assert HitTuple(delta=5, term_index=16).encoded_size == 4
+    assert HitTuple(delta=5, term_index=3, properties=1).encoded_size == 4
+    assert HitTuple(delta=70_000, term_index=0).encoded_size == 6
+    assert HitTuple(delta=5, term_index=0, properties=300).encoded_size == 6
+
+
+def test_tuple_validation():
+    with pytest.raises(ValueError):
+        HitTuple(delta=-1, term_index=0)
+    with pytest.raises(ValueError):
+        HitTuple(delta=1 << 24, term_index=0)
+    with pytest.raises(ValueError):
+        HitTuple(delta=0, term_index=64)
+    with pytest.raises(ValueError):
+        HitTuple(delta=0, term_index=0, properties=1 << 16)
+
+
+def test_query_validation():
+    with pytest.raises(ValueError):
+        Query(query_id=1, terms=())
+    with pytest.raises(ValueError):
+        Query(query_id=1, terms=tuple(range(17)))
+
+
+# --- codec ---------------------------------------------------------------------
+
+
+def test_roundtrip_simple():
+    doc = make_doc(
+        [StreamHits(0, 500, [HitTuple(3, 0), HitTuple(1500, 1, 7), HitTuple(90_000, 2, 999)])]
+    )
+    decoded = codec.decode(codec.encode(doc))
+    assert decoded.doc_id == doc.doc_id
+    assert decoded.model_id == doc.model_id
+    assert decoded.num_query_terms == doc.num_query_terms
+    assert decoded.software_features == [(0, 1.5), (3, -2.25)]
+    assert len(decoded.streams) == 1
+    assert decoded.streams[0].tuples == doc.streams[0].tuples
+
+
+tuple_strategy = st.builds(
+    HitTuple,
+    delta=st.integers(0, (1 << 24) - 1),
+    term_index=st.integers(0, 63),
+    properties=st.integers(0, (1 << 16) - 1),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    streams=st.lists(
+        st.tuples(
+            st.integers(0, MAX_STREAMS - 1),
+            st.lists(tuple_strategy, max_size=60),
+        ),
+        min_size=1,
+        max_size=MAX_STREAMS,
+        unique_by=lambda s: s[0],
+    ),
+    sw=st.lists(
+        st.tuples(st.integers(0, 999), st.floats(-1e6, 1e6, width=32)), max_size=20
+    ),
+)
+def test_roundtrip_property(streams, sw):
+    doc = make_doc(
+        [StreamHits(sid, 1000, tuples) for sid, tuples in streams], sw=sw
+    )
+    decoded = codec.decode(codec.encode(doc, truncate=False))
+    assert [s.tuples for s in decoded.streams] == [s.tuples for s in doc.streams]
+    assert decoded.software_features == sw
+
+
+def test_truncation_to_64kb():
+    # ~30k six-byte tuples is ~180 KB; must be truncated to fit.
+    big = make_doc(
+        [
+            StreamHits(
+                0,
+                100_000,
+                [HitTuple(70_000, 1, 999) for _ in range(30_000)],
+            )
+        ]
+    )
+    encoded = codec.encode(big)
+    assert len(encoded) <= codec.truncate_bytes
+    decoded = codec.decode(encoded)
+    assert decoded.total_tuples < 30_000
+    assert decoded.total_tuples > 5_000  # most of the prefix survives
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(b"\x00" * 64)
+
+
+def test_short_buffer_rejected():
+    with pytest.raises(CodecError):
+        codec.decode(b"\x01")
+
+
+# --- size distribution (Figure 4 anchors) ------------------------------------------
+
+
+def test_size_distribution_matches_figure4():
+    rng = random.Random(42)
+    dist = DocumentSizeDistribution(rng)
+    samples = dist.sample_many(40_000)
+    mean = sum(samples) / len(samples)
+    ordered = sorted(samples)
+    p99 = ordered[int(0.99 * len(ordered))]
+    over_64k = sum(1 for s in samples if s > 64 * 1024) / len(samples)
+    assert 5_000 <= mean <= 8_000  # ~6.5 KB
+    assert 35_000 <= p99 <= 70_000  # ~53 KB
+    assert over_64k < 0.006  # ~0.14 % in the paper; tail is thinned
+
+
+def test_theoretical_anchors():
+    assert DocumentSizeDistribution.theoretical_mean() == pytest.approx(6656, rel=0.05)
+    assert DocumentSizeDistribution.theoretical_p99() == pytest.approx(54272, rel=0.06)
+
+
+# --- trace generator -----------------------------------------------------------------
+
+
+def test_trace_generator_deterministic():
+    a = [r.document.doc_id for r in TraceGenerator(seed=9).requests(5)]
+    b = [r.document.doc_id for r in TraceGenerator(seed=9).requests(5)]
+    assert a == b
+    scores_a = TraceGenerator(seed=9).request().encoded
+    scores_b = TraceGenerator(seed=9).request().encoded
+    assert scores_a == scores_b
+
+
+def test_trace_requests_near_target_size():
+    gen = TraceGenerator(seed=3)
+    request = gen.request(target_size=8_000)
+    assert 4_000 <= request.size_bytes <= 12_000
+
+
+def test_trace_respects_model_mix():
+    gen = TraceGenerator(seed=5, model_mix={0: 0.5, 1: 0.5})
+    models = {gen.query().model_id for _ in range(50)}
+    assert models == {0, 1}
+
+
+def test_trace_encoding_decodes():
+    gen = TraceGenerator(seed=1)
+    request = gen.request()
+    decoded = codec.decode(request.encoded)
+    assert decoded.doc_id == request.document.doc_id
+
+
+def test_trace_sizes_within_truncation():
+    gen = TraceGenerator(seed=2)
+    for request in gen.requests(200):
+        assert request.size_bytes <= codec.truncate_bytes

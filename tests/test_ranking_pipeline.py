@@ -1,0 +1,169 @@
+"""Integration tests: the full 8-FPGA ranking ring on a pod."""
+
+import pytest
+
+from repro.fabric import Pod, TorusTopology
+from repro.ranking.models import ModelLibrary
+from repro.ranking.pipeline import RankingPipeline, ranking_bitstreams
+from repro.ranking.software_ranker import SoftwareRanker
+from repro.ranking.stages import FeatureExtractionRole
+from repro.sim import Engine, SEC
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    """One deployed ranking ring (2x8 pod, small models) + request pool."""
+    eng = Engine(seed=21)
+    pod = Pod(eng, topology=TorusTopology(width=2, height=8))
+    library = ModelLibrary.default(scale=0.03)
+    pipeline = RankingPipeline(eng, pod, library, ring_x=0)
+    pipeline.deploy()
+    pool = pipeline.make_request_pool(12, seed=77)
+    return eng, pod, pipeline, pool
+
+
+def test_deployment_maps_all_eight_roles(deployed):
+    _eng, pod, pipeline, _pool = deployed
+    assignment = pipeline.assignment
+    names = [spec.name for spec in pipeline.service.roles]
+    assert names == ["fe", "ffe0", "ffe1", "compress", "score0", "score1", "score2"]
+    assert assignment.node_of("fe") == (0, 0)
+    assert assignment.spare_nodes == [(0, 7)]
+    fe_role = pipeline.stage_role("fe")
+    assert isinstance(fe_role, FeatureExtractionRole)
+    assert fe_role.queue_manager is not None
+
+
+def test_scores_identical_to_software(deployed):
+    """The paper's key functional claim: FPGA results == software."""
+    eng, pod, pipeline, pool = deployed
+    injector_server = pod.server_at((1, 3))
+    done, stats = pipeline.spawn_injector(
+        injector_server, threads=2, pool=pool[:4], requests_per_thread=2
+    )
+    eng.run_until(done)
+    assert stats.completed == 4
+    assert stats.timeouts == 0
+
+    software = SoftwareRanker(pod.server_at((1, 4)), pipeline.scoring_engine)
+    for request in pool[:4]:
+        model = pipeline.library[request.document.model_id]
+        expected = pipeline.scoring_engine.score(request.document, model)
+
+        def score_one(eng, request=request):
+            result = yield from software.score_request(request)
+            return result
+
+        proc = eng.process(score_one(eng))
+        eng.run_until(proc)
+        sw_score, _latency = proc.value
+        assert sw_score == expected  # bit-identical
+
+
+def test_pipeline_latency_reasonable(deployed):
+    eng, pod, pipeline, pool = deployed
+    done, stats = pipeline.spawn_injector(
+        pod.server_at((1, 0)), threads=1, pool=pool[:1], requests_per_thread=3
+    )
+    eng.run_until(done)
+    latencies = stats.latencies_ns
+    assert len(latencies) == 3
+    # Unloaded round trip: prep + DMA + ring traversal, well under 1 ms.
+    assert all(20_000 <= lat <= 1_000_000 for lat in latencies)
+
+
+def test_stage_counters_advance(deployed):
+    _eng, _pod, pipeline, _pool = deployed
+    fe = pipeline.stage_role("fe")
+    scorer2 = pipeline.stage_role("score2")
+    assert fe.docs_processed > 0
+    assert scorer2.docs_processed > 0
+
+
+def test_model_mix_triggers_reloads():
+    eng = Engine(seed=22)
+    pod = Pod(eng, topology=TorusTopology(width=2, height=8))
+    library = ModelLibrary.default(scale=0.03)
+    pipeline = RankingPipeline(eng, pod, library, ring_x=0)
+    pipeline.deploy()
+    pool = pipeline.make_request_pool(16, seed=5, model_mix={0: 0.5, 2: 0.5})
+    done, stats = pipeline.spawn_injector(
+        pod.server_at((1, 1)), threads=2, pool=pool, requests_per_thread=4
+    )
+    eng.run_until(done)
+    assert stats.completed == 8
+    fe = pipeline.stage_role("fe")
+    assert fe.queue_manager.reload_count >= 2  # both models were loaded
+    ffe0 = pipeline.stage_role("ffe0")
+    assert ffe0.reloads >= 2  # reload command rippled downstream
+
+
+def test_fifo_policy_reloads_more_than_batch():
+    results = {}
+    for policy in ("batch", "fifo"):
+        eng = Engine(seed=23)
+        pod = Pod(eng, topology=TorusTopology(width=2, height=8))
+        library = ModelLibrary.default(scale=0.03)
+        pipeline = RankingPipeline(eng, pod, library, ring_x=0, qm_policy=policy)
+        pipeline.deploy()
+        pool = pipeline.make_request_pool(24, seed=9, model_mix={0: 0.5, 1: 0.5})
+        # Flood the queue manager (no host prep, many threads) so the
+        # per-model queues actually build up and batching can pay off.
+        done, stats = pipeline.spawn_injector(
+            pod.server_at((1, 2)),
+            threads=12,
+            pool=pool,
+            requests_per_thread=8,
+            include_prep=False,
+        )
+        eng.run_until(done)
+        assert stats.completed == 96
+        results[policy] = pipeline.stage_role("fe").queue_manager.reload_count
+    assert results["fifo"] > results["batch"]
+
+
+def test_ranking_bitstreams_fit_device():
+    synthesized = ranking_bitstreams()
+    assert set(synthesized) == {
+        "fe", "ffe0", "ffe1", "compress", "score0", "score1", "score2", "spare"
+    }
+    for role, (bitstream, report) in synthesized.items():
+        assert bitstream.fits(bitstream_device(report))
+        assert 0 < report.logic_pct <= 100
+        assert 0 < report.ram_pct <= 100
+
+
+def bitstream_device(report):
+    return report.device
+
+
+def test_software_ranker_latency_grows_under_load():
+    eng = Engine(seed=24)
+    pod = Pod(eng, topology=TorusTopology(width=2, height=2))
+    library = ModelLibrary.default(scale=0.03)
+    from repro.ranking.engine import ScoringEngine
+
+    engine_ref = ScoringEngine(library)
+    server = pod.server_at((0, 0))
+    ranker = SoftwareRanker(server, engine_ref)
+    gen_pool = [r for r in __import__("repro.workloads", fromlist=["TraceGenerator"]).TraceGenerator(seed=3).requests(4)]
+
+    def run_batch(count):
+        def one(eng, request):
+            yield from ranker.score_request(request)
+
+        procs = [
+            eng.process(one(eng, gen_pool[i % len(gen_pool)])) for i in range(count)
+        ]
+        from repro.sim import AllOf
+
+        waiter = AllOf(eng, procs)
+        eng.run_until(waiter)
+
+    ranker.latencies_ns.clear()
+    run_batch(2)  # light load
+    light = sum(ranker.latencies_ns) / len(ranker.latencies_ns)
+    ranker.latencies_ns.clear()
+    run_batch(36)  # oversubscribed: queueing + contention
+    heavy = sum(ranker.latencies_ns) / len(ranker.latencies_ns)
+    assert heavy > light * 1.5

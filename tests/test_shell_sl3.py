@@ -1,0 +1,235 @@
+"""Tests for SL3 links: bandwidth, ECC tax, halt protocol, errors."""
+
+import pytest
+
+from repro.hardware.constants import SL3_HOP_LATENCY_NS, SL3_PEAK_GBPS
+from repro.shell.messages import Packet, PacketKind
+from repro.shell.sl3 import Sl3Config, Sl3Endpoint, Sl3Link
+from repro.sim import Engine
+
+
+def make_link(eng, config=None, name="test"):
+    config = config or Sl3Config()
+    a = Sl3Endpoint(eng, "a", config)
+    b = Sl3Endpoint(eng, "b", config)
+    link = Sl3Link(eng, a, b, config=config, name=name)
+    # Tests default to an operational link (halts released).
+    a.rx_halt = False
+    b.rx_halt = False
+    return a, b, link
+
+
+def request(size=1024, src=(0, 0), dst=(1, 0)):
+    return Packet(kind=PacketKind.REQUEST, src=src, dst=dst, size_bytes=size)
+
+
+def collect_deliveries(endpoint):
+    delivered = []
+    endpoint.deliver = lambda packet: delivered.append(packet)
+    return delivered
+
+
+def test_packet_flit_count():
+    assert request(size=1).flits == 1
+    assert request(size=32).flits == 1
+    assert request(size=33).flits == 2
+    assert request(size=64 * 1024).flits == 2048
+
+
+def test_packet_rejects_negative_size():
+    with pytest.raises(ValueError):
+        request(size=-1)
+
+
+def test_response_to_swaps_endpoints_and_keeps_trace():
+    req = request()
+    req.slot_id = 7
+    resp = req.response_to(size_bytes=16, payload=1.5)
+    assert resp.kind is PacketKind.RESPONSE
+    assert resp.src == req.dst and resp.dst == req.src
+    assert resp.trace_id == req.trace_id
+    assert resp.slot_id == 7
+
+
+def test_delivery_latency_matches_serialization_plus_hop():
+    eng = Engine()
+    a, b, _link = make_link(eng)
+    delivered = collect_deliveries(b)
+    pkt = request(size=2000)
+
+    def sender(eng, a, pkt):
+        yield a.send(pkt)
+
+    eng.process(sender(eng, a, pkt))
+    eng.run()
+    assert len(delivered) == 1
+    # 2000 B at 16 Gb/s effective = 1000 ns, plus the 400 ns hop.
+    expected = 2000 / 2.0 + SL3_HOP_LATENCY_NS
+    assert eng.now == pytest.approx(expected)
+
+
+def test_ecc_tax_reduces_effective_bandwidth():
+    with_ecc = Sl3Config(ecc_enabled=True)
+    without = Sl3Config(ecc_enabled=False)
+    assert with_ecc.effective_gbps == pytest.approx(SL3_PEAK_GBPS * 0.8)
+    assert without.effective_gbps == pytest.approx(SL3_PEAK_GBPS)
+
+
+def test_rx_halt_discards_traffic():
+    eng = Engine()
+    a, b, _link = make_link(eng)
+    b.rx_halt = True  # freshly configured FPGA
+    delivered = collect_deliveries(b)
+
+    def sender(eng, a):
+        yield a.send(request())
+
+    eng.process(sender(eng, a))
+    eng.run()
+    assert delivered == []
+    assert b.stats.dropped_rx_halt == 1
+
+
+def test_tx_halt_makes_peer_ignore_then_retrain_restores():
+    eng = Engine()
+    a, b, link = make_link(eng)
+    delivered = collect_deliveries(b)
+
+    def scenario(eng, a, b, link):
+        yield a.assert_tx_halt()
+        yield eng.timeout(10_000.0)
+        # Peer now ignores us: this packet is dropped.
+        yield a.send(request())
+        yield eng.timeout(10_000.0)
+        assert delivered == []
+        assert b.stats.dropped_ignore_peer == 1
+        # Retrain the link (reconfiguration completed).
+        link.retrain(a)
+        yield eng.timeout(link.config.retrain_ns + 1_000.0)
+        yield a.send(request())
+
+    eng.process(scenario(eng, a, b, link))
+    eng.run()
+    assert len(delivered) == 1
+
+
+def test_double_bit_errors_drop_packets_no_retransmission():
+    eng = Engine(seed=3)
+    config = Sl3Config(flit_double_error_rate=1.0)
+    a, b, _link = make_link(eng, config)
+    delivered = collect_deliveries(b)
+
+    def sender(eng, a):
+        for _ in range(5):
+            yield a.send(request())
+
+    eng.process(sender(eng, a))
+    eng.run()
+    assert delivered == []
+    assert b.stats.dropped_crc == 5
+
+
+def test_single_bit_errors_corrected_and_counted():
+    eng = Engine(seed=3)
+    config = Sl3Config(flit_single_error_rate=0.5)
+    a, b, _link = make_link(eng, config)
+    delivered = collect_deliveries(b)
+
+    def sender(eng, a):
+        for _ in range(10):
+            yield a.send(request(size=3200))  # 100 flits each
+
+    eng.process(sender(eng, a))
+    eng.run()
+    assert len(delivered) == 10  # singles never drop packets
+    assert b.stats.corrected_flits > 100  # ~50/packet expected
+
+
+def test_no_ecc_turns_bit_errors_into_garbage():
+    eng = Engine(seed=3)
+    config = Sl3Config(ecc_enabled=False, flit_single_error_rate=0.9)
+    a, b, _link = make_link(eng, config)
+    delivered = collect_deliveries(b)
+
+    def sender(eng, a):
+        yield a.send(request(size=3200))
+
+    eng.process(sender(eng, a))
+    eng.run()
+    assert len(delivered) == 1
+    assert delivered[0].kind is PacketKind.GARBAGE
+
+
+def test_broken_cable_drops_everything():
+    eng = Engine()
+    a, b, link = make_link(eng)
+    delivered = collect_deliveries(b)
+    link.break_cable()
+
+    def sender(eng, a):
+        yield a.send(request())
+
+    eng.process(sender(eng, a))
+    eng.run()
+    assert delivered == []
+    assert a.stats.dropped_link_down == 1
+    link.repair_cable()
+
+    def sender2(eng, a):
+        yield a.send(request())
+
+    eng.process(sender2(eng, a))
+    eng.run()
+    assert len(delivered) == 1
+
+
+def test_garbage_emission_during_unprotected_reconfig():
+    eng = Engine(seed=1)
+    a, b, link = make_link(eng)
+    delivered = collect_deliveries(b)
+    link.start_garbage(a, duration_ns=500_000.0)
+    eng.run()
+    garbage = [p for p in delivered if p.kind is PacketKind.GARBAGE]
+    assert len(garbage) >= 5
+    assert b.stats.garbage_received == len(garbage)
+
+
+def test_rx_halt_protects_against_garbage():
+    eng = Engine(seed=1)
+    a, b, link = make_link(eng)
+    b.rx_halt = True
+    delivered = collect_deliveries(b)
+    link.start_garbage(a, duration_ns=500_000.0)
+    eng.run()
+    assert delivered == []
+    assert b.stats.dropped_rx_halt >= 5
+
+
+def test_xoff_backpressure_counts_and_preserves_packets():
+    eng = Engine()
+    config = Sl3Config(rx_fifo_packets=2)
+    a, b, _link = make_link(eng, config)
+    delivered = []
+
+    # Slow consumer: replace the immediate deliver with buffering reads.
+    def slow_deliver(packet):
+        delivered.append(packet)
+        return eng.timeout(100_000.0)  # delivery loop stalls 100 us each
+
+    b.deliver = slow_deliver
+
+    def sender(eng, a):
+        for i in range(10):
+            yield a.send(request(size=1024))
+
+    eng.process(sender(eng, a))
+    eng.run()
+    assert len(delivered) == 10  # flow control is lossless
+    assert b.stats.xoff_events > 0
+
+
+def test_peer_property_requires_link():
+    eng = Engine()
+    endpoint = Sl3Endpoint(eng, "solo", Sl3Config())
+    with pytest.raises(RuntimeError):
+        _ = endpoint.peer

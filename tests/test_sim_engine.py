@@ -1,0 +1,333 @@
+"""Unit tests for the simulation engine, events and processes."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Interrupt,
+    ProcessKilled,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_time_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    times = []
+
+    def body(eng):
+        yield eng.timeout(10.0)
+        times.append(eng.now)
+        yield eng.timeout(5.0)
+        times.append(eng.now)
+
+    eng.process(body(eng))
+    eng.run()
+    assert times == [10.0, 15.0]
+
+
+def test_timeout_delivers_value():
+    eng = Engine()
+
+    def body(eng):
+        got = yield eng.timeout(1.0, value="payload")
+        return got
+
+    proc = eng.process(body(eng))
+    eng.run()
+    assert proc.value == "payload"
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def body(eng):
+        yield eng.timeout(1.0)
+        return 42
+
+    proc = eng.process(body(eng))
+    eng.run()
+    assert proc.value == 42
+    assert not proc.is_alive
+
+
+def test_process_join():
+    eng = Engine()
+
+    def child(eng):
+        yield eng.timeout(7.0)
+        return "done"
+
+    def parent(eng):
+        result = yield eng.process(child(eng))
+        return (eng.now, result)
+
+    proc = eng.process(parent(eng))
+    eng.run()
+    assert proc.value == (7.0, "done")
+
+
+def test_two_processes_interleave_deterministically():
+    eng = Engine()
+    order = []
+
+    def worker(eng, name, delay):
+        yield eng.timeout(delay)
+        order.append((eng.now, name))
+        yield eng.timeout(delay)
+        order.append((eng.now, name))
+
+    eng.process(worker(eng, "a", 3.0))
+    eng.process(worker(eng, "b", 2.0))
+    eng.run()
+    assert order == [(2.0, "b"), (3.0, "a"), (4.0, "b"), (6.0, "a")]
+
+
+def test_same_time_events_fifo_order():
+    eng = Engine()
+    order = []
+
+    def worker(eng, name):
+        yield eng.timeout(5.0)
+        order.append(name)
+
+    for name in ["first", "second", "third"]:
+        eng.process(worker(eng, name))
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_time_bound():
+    eng = Engine()
+
+    def body(eng):
+        while True:
+            yield eng.timeout(10.0)
+
+    eng.process(body(eng))
+    stopped = eng.run(until=35.0)
+    assert stopped == 35.0
+    assert eng.now == 35.0
+
+
+def test_run_until_event():
+    eng = Engine()
+
+    def body(eng):
+        yield eng.timeout(9.0)
+        return "x"
+
+    proc = eng.process(body(eng))
+    assert eng.run_until(proc) == "x"
+    assert eng.now == 9.0
+
+
+def test_run_until_event_queue_drained_raises():
+    eng = Engine()
+    never = eng.event("never")
+
+    def body(eng):
+        yield eng.timeout(1.0)
+
+    eng.process(body(eng))
+    with pytest.raises(SimulationError):
+        eng.run_until(never)
+
+
+def test_event_succeed_once_only():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    eng = Engine()
+    ev = eng.event()
+
+    def body(eng, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = eng.process(body(eng, ev))
+
+    def failer(eng, ev):
+        yield eng.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    eng.process(failer(eng, ev))
+    eng.run()
+    assert proc.value == "caught boom"
+
+
+def test_fail_requires_exception():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.event().fail("not an exception")
+
+
+def test_uncaught_process_exception_surfaces():
+    eng = Engine()
+
+    def body(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("crash")
+
+    eng.process(body(eng))
+    with pytest.raises(RuntimeError, match="crash"):
+        eng.run()
+
+
+def test_joined_process_exception_delivered_to_joiner():
+    eng = Engine()
+
+    def child(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("child crash")
+
+    def parent(eng):
+        try:
+            yield eng.process(child(eng))
+        except RuntimeError as exc:
+            return str(exc)
+
+    proc = eng.process(parent(eng))
+    eng.run()
+    assert proc.value == "child crash"
+
+
+def test_interrupt_wakes_sleeping_process():
+    eng = Engine()
+
+    def sleeper(eng):
+        try:
+            yield eng.timeout(1000.0)
+            return "overslept"
+        except Interrupt as intr:
+            return ("interrupted", eng.now, intr.cause)
+
+    proc = eng.process(sleeper(eng))
+
+    def interrupter(eng, victim):
+        yield eng.timeout(5.0)
+        victim.interrupt(cause="wake up")
+
+    eng.process(interrupter(eng, proc))
+    eng.run()
+    assert proc.value == ("interrupted", 5.0, "wake up")
+
+
+def test_interrupt_on_finished_process_is_noop():
+    eng = Engine()
+
+    def body(eng):
+        yield eng.timeout(1.0)
+
+    proc = eng.process(body(eng))
+    eng.run()
+    proc.interrupt()  # must not raise
+    assert proc.triggered
+
+
+def test_kill_terminates_process():
+    eng = Engine()
+    progressed = []
+
+    def body(eng):
+        yield eng.timeout(10.0)
+        progressed.append(True)
+
+    proc = eng.process(body(eng))
+
+    def killer(eng, victim):
+        yield eng.timeout(1.0)
+        victim.kill()
+
+    eng.process(killer(eng, proc))
+    eng.run()
+    assert progressed == []
+    assert isinstance(proc.exception, ProcessKilled)
+
+
+def test_allof_waits_for_all():
+    eng = Engine()
+
+    def body(eng):
+        t1 = eng.timeout(3.0, value="a")
+        t2 = eng.timeout(7.0, value="b")
+        got = yield AllOf(eng, [t1, t2])
+        return (eng.now, sorted(got.values()))
+
+    proc = eng.process(body(eng))
+    eng.run()
+    assert proc.value == (7.0, ["a", "b"])
+
+
+def test_anyof_returns_on_first():
+    eng = Engine()
+
+    def body(eng):
+        t1 = eng.timeout(3.0, value="fast")
+        t2 = eng.timeout(7.0, value="slow")
+        got = yield AnyOf(eng, [t1, t2])
+        return (eng.now, list(got.values()))
+
+    proc = eng.process(body(eng))
+    eng.run()
+    assert proc.value == (3.0, ["fast"])
+
+
+def test_allof_empty_succeeds_immediately():
+    eng = Engine()
+
+    def body(eng):
+        got = yield AllOf(eng, [])
+        return dict(got)
+
+    proc = eng.process(body(eng))
+    eng.run()
+    assert proc.value == {}
+
+
+def test_yield_non_event_is_error():
+    eng = Engine()
+
+    def body(eng):
+        yield 42
+
+    eng.process(body(eng))
+    with pytest.raises(TypeError):
+        eng.run()
+
+
+def test_cannot_schedule_in_past():
+    eng = Engine()
+
+    def body(eng):
+        yield eng.timeout(5.0)
+
+    eng.process(body(eng))
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng._schedule_at(1.0, eng.event())
+
+
+def test_timeout_isinstance_event():
+    eng = Engine()
+    assert isinstance(eng.timeout(1.0), Timeout)

@@ -1,0 +1,59 @@
+"""Tests for workload generation: Zipf sampling and query properties."""
+
+import random
+
+import pytest
+
+from repro.workloads.traces import TraceGenerator, ZipfSampler
+
+
+def test_zipf_head_is_heavier():
+    sampler = ZipfSampler(1_000, random.Random(1))
+    draws = [sampler.sample() for _ in range(5_000)]
+    head = sum(1 for d in draws if d < 10)
+    tail = sum(1 for d in draws if d >= 500)
+    assert head > tail * 3
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, random.Random(1))
+
+
+def test_zipf_covers_range():
+    sampler = ZipfSampler(50, random.Random(2))
+    draws = {sampler.sample() for _ in range(5_000)}
+    assert min(draws) == 0
+    assert max(draws) < 50
+
+
+def test_queries_have_unique_terms():
+    gen = TraceGenerator(seed=3)
+    for _ in range(50):
+        query = gen.query()
+        assert len(set(query.terms)) == len(query.terms)
+        assert 1 <= len(query.terms) <= 8
+
+
+def test_document_model_matches_query_model():
+    gen = TraceGenerator(seed=4, model_mix={2: 1.0})
+    request = gen.request()
+    assert request.query.model_id == 2
+    assert request.document.model_id == 2
+
+
+def test_documents_have_increasing_ids():
+    gen = TraceGenerator(seed=5)
+    ids = [gen.request().document.doc_id for _ in range(5)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_tuple_mix_has_all_three_sizes():
+    gen = TraceGenerator(seed=6)
+    sizes = set()
+    for request in gen.requests(20):
+        for stream in request.document.streams:
+            for hit in stream.tuples:
+                sizes.add(hit.encoded_size)
+    assert sizes == {2, 4, 6}
