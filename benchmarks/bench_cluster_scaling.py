@@ -1,0 +1,106 @@
+"""Cluster scaling: throughput and p99 vs deployed rings at fixed load.
+
+The production claim (§2.3, §6): the service scales by deploying more
+rings across more pods, with the front end spreading query load over
+them.  At a fixed open-loop Poisson offered load well above one ring's
+saturation point (~77 K docs/s), aggregate completed throughput must
+grow with the ring count — admission control sheds the excess at one
+ring, and four rings across two pods absorb the full offered load —
+while per-ring p99 stays balanced under the least-outstanding policy.
+"""
+
+from repro.analysis import format_series, percentile
+from repro.core import CatapultFabric
+from repro.fabric import TorusTopology
+from repro.sim.units import SEC, US
+from repro.workloads import OpenLoopInjector, PoissonArrivals
+from repro.workloads.traces import TraceGenerator
+
+RING_COUNTS = [1, 2, 4]
+OFFERED_PER_S = 150_000.0  # ~2x one ring's saturation throughput
+ARRIVALS = 3_000
+MAX_QUEUE_DEPTH = 256
+
+
+def run_one(rings: int) -> dict:
+    fabric = CatapultFabric(
+        pods=2, topology=TorusTopology(width=2, height=8), seed=21
+    )
+    cluster = fabric.deploy_ranking_cluster(
+        rings=rings,
+        placement_policy="spread",
+        balancing_policy="least_outstanding",
+        model_scale=0.1,
+    )
+    balancer = cluster.balancer
+    generator = TraceGenerator(seed=77)
+    pool = [generator.request() for _ in range(48)]
+    for request in pool:  # pre-compute functional scores: pure-timing run
+        cluster.scoring_engine.score(
+            request.document, cluster.library[request.document.model_id]
+        )
+    injector = OpenLoopInjector(
+        fabric.engine,
+        balancer,
+        PoissonArrivals(OFFERED_PER_S),
+        pool,
+        max_queue_depth=MAX_QUEUE_DEPTH,
+    )
+    started = fabric.engine.now
+    stats = fabric.engine.run_until(injector.run(ARRIVALS))
+    window_ns = fabric.engine.now - started
+    return {
+        "rings": rings,
+        "pods_used": len({d.slot.pod_id for d in cluster.scheduler.decisions}),
+        "throughput_per_s": stats.completed * SEC / window_ns,
+        "rejected": stats.rejected,
+        "agg_p99_us": stats.stats().p99 / US,
+        "ring_p99_us": {
+            deployment.name: percentile(deployment.latencies_ns, 99) / US
+            for deployment in balancer.deployments
+            if deployment.latencies_ns
+        },
+    }
+
+
+def run_experiment():
+    return {rings: run_one(rings) for rings in RING_COUNTS}
+
+
+def test_cluster_scaling(benchmark, record):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_series(
+        "#rings deployed",
+        {
+            "aggregate throughput (docs/s)": [
+                round(results[r]["throughput_per_s"]) for r in RING_COUNTS
+            ],
+            "rejected at admission": [results[r]["rejected"] for r in RING_COUNTS],
+            "aggregate p99 (us)": [
+                round(results[r]["agg_p99_us"]) for r in RING_COUNTS
+            ],
+            "worst ring p99 (us)": [
+                round(max(results[r]["ring_p99_us"].values())) for r in RING_COUNTS
+            ],
+        },
+        RING_COUNTS,
+        title=(
+            "Cluster scaling — open-loop Poisson at 150 K docs/s offered,\n"
+            "least-outstanding balancing, rings spread across 2 pods\n"
+            "(paper: service capacity scales with deployed rings, §6)"
+        ),
+    )
+    record("cluster_scaling", table)
+
+    one, four = results[1], results[4]
+    # One ring saturates: admission control must shed load...
+    assert one["rejected"] > 0
+    # ...and adding rings across >= 2 pods recovers the offered load.
+    assert four["pods_used"] >= 2
+    assert four["throughput_per_s"] > 1.5 * one["throughput_per_s"]
+    assert four["agg_p99_us"] < one["agg_p99_us"]
+    # Least-outstanding keeps the rings balanced: no ring's p99 above
+    # 2x the median ring p99.
+    ring_p99s = sorted(four["ring_p99_us"].values())
+    median = percentile(ring_p99s, 50)
+    assert max(ring_p99s) <= 2.0 * median

@@ -1,0 +1,42 @@
+"""Cluster-level service orchestration.
+
+The paper's production story is many rings across many pods serving one
+datacenter-scale service (§2.3).  This package is that layer: a
+:class:`ClusterScheduler` places :class:`ServiceDefinition`s onto free
+torus rings across pods (capacity and spare accounting included), each
+placement yielding a generic per-ring :class:`Deployment`; a front-end
+:class:`LoadBalancer` dispatches requests across the deployed rings
+under pluggable policies and aggregates service-wide throughput and
+latency.  Open-loop traffic sources that drive the balancer live in
+:mod:`repro.workloads.openloop`.
+"""
+
+from repro.cluster.deployment import Deployment, InjectorStats, RequestAdapter
+from repro.cluster.load_balancer import (
+    BALANCING_POLICIES,
+    LoadBalancer,
+    NoHealthyDeployment,
+)
+from repro.cluster.scheduler import (
+    CapacityReport,
+    ClusterScheduler,
+    InsufficientClusterCapacity,
+    PLACEMENT_POLICIES,
+    PlacementDecision,
+)
+from repro.fabric.datacenter import RingSlot
+
+__all__ = [
+    "BALANCING_POLICIES",
+    "CapacityReport",
+    "ClusterScheduler",
+    "Deployment",
+    "InjectorStats",
+    "InsufficientClusterCapacity",
+    "LoadBalancer",
+    "NoHealthyDeployment",
+    "PLACEMENT_POLICIES",
+    "PlacementDecision",
+    "RequestAdapter",
+    "RingSlot",
+]

@@ -1,0 +1,299 @@
+"""A generic per-ring service deployment.
+
+The paper's production deployment maps one service instance onto one
+torus ring and scales by deploying many rings across many pods (§2.3:
+1,632 machines serving Bing ranking).  :class:`Deployment` is the
+reusable per-ring handle: it wraps a :class:`MappingManager` deploy of
+one :class:`ServiceDefinition` onto one ring and provides the two
+injection paths the evaluation uses — closed-loop injector threads
+(:meth:`spawn_injector`) and a single-request dispatch generator
+(:meth:`submit`) that the front-end load balancer and the open-loop
+traffic layer build on.
+
+Service-specific concerns (what payload rides the fabric, what
+host-side software work precedes injection) are factored into a
+:class:`RequestAdapter` so non-ranking services reuse the machinery
+unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.analysis import LatencyStats, ThroughputMeter
+from repro.fabric.pod import Pod
+from repro.fabric.server import Server
+from repro.host.slots import RequestTimeout, SlotClient
+from repro.services.mapping_manager import (
+    MappingManager,
+    RingAssignment,
+    ServiceDefinition,
+)
+from repro.sim import AllOf, Engine, Event, Store
+from repro.sim.units import SEC
+
+
+class RequestAdapter:
+    """Translates generic dispatch into service-specific wire traffic.
+
+    The default adapter sends the request object itself with a nominal
+    size and performs no host-side preparation; services override the
+    three hooks (ranking overrides all of them — SSD lookup and
+    hit-vector prep on a CPU core, §4).
+    """
+
+    def payload_for(self, request: object) -> object:
+        return request
+
+    def size_of(self, request: object) -> int:
+        return getattr(request, "size_bytes", 64)
+
+    def prep(self, server: Server) -> typing.Generator:
+        """Host-side software portion before injection (a generator)."""
+        if False:  # pragma: no cover - makes the default a generator
+            yield
+        return
+
+
+@dataclasses.dataclass
+class InjectorStats:
+    """Results from one injector (a server's worth of threads)."""
+
+    latencies_ns: list
+    timeouts: int
+    completed: int
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.latencies_ns)
+
+
+class Deployment:
+    """One service deployed on one ring of one pod."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pod: Pod,
+        service: ServiceDefinition,
+        ring_x: int = 0,
+        adapter: RequestAdapter | None = None,
+        mapping_manager: MappingManager | None = None,
+        slots_per_server: int = 48,
+    ):
+        self.engine = engine
+        self.pod = pod
+        self.service = service
+        self.ring_x = ring_x
+        self.adapter = adapter or RequestAdapter()
+        self.mapping_manager = mapping_manager or MappingManager(engine, pod)
+        self.slots_per_server = slots_per_server
+        self.assignment: RingAssignment | None = None
+        self.meter = ThroughputMeter(engine)
+        self.latencies_ns: list[float] = []
+        self.completed = 0
+        self.timeouts = 0
+        self.outstanding = 0  # dispatched via submit(), not yet resolved
+        self._lease_stores: dict[str, Store] = {}
+        self._injection_cycle: typing.Iterator[Server] | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.service.name}@pod{self.pod.pod_id}/ring{self.ring_x}"
+
+    # -- deployment ------------------------------------------------------------
+
+    def deploy(self) -> RingAssignment:
+        done = self.mapping_manager.deploy(self.service, self.ring_x)
+        self.assignment = self.engine.run_until(done)
+        return self.assignment
+
+    @property
+    def head_node(self):
+        return self.assignment.head_node()
+
+    def stage_role(self, role_name: str):
+        node = self.assignment.node_of(role_name)
+        return self.pod.server_at(node).shell.role
+
+    # -- health / capacity -----------------------------------------------------
+
+    def health_weight(self) -> float:
+        """Healthy fraction of the ring; 0 while undeployed or unservable.
+
+        Excluded (mapped-out) nodes lower the weight, so the
+        weighted-by-health balancing policy steers load away from rings
+        running degraded after failures.
+        """
+        if self.assignment is None:
+            return 0.0
+        healthy = [
+            node
+            for node in self.assignment.ring_nodes
+            if node not in self.assignment.excluded
+        ]
+        if len(healthy) < len(self.service.roles):
+            return 0.0
+        return len(healthy) / len(self.assignment.ring_nodes)
+
+    @property
+    def spare_count(self) -> int:
+        if self.assignment is None:
+            return 0
+        return len(self.assignment.spare_nodes)
+
+    def injection_servers(self) -> list[Server]:
+        """The ring's servers, which host the injecting threads (§5)."""
+        return self.pod.ring(self.ring_x)
+
+    # -- single-request dispatch (front-end path) ------------------------------
+
+    def _leases(self, server: Server) -> Store:
+        store = self._lease_stores.get(server.machine_id)
+        if store is None:
+            client = SlotClient(server)
+            store = Store(self.engine, name=f"leases:{self.name}:{server.machine_id}")
+            count = min(self.slots_per_server, server.buffers.slot_count)
+            for lease in client.leases(count):
+                store.try_put(lease)
+            self._lease_stores[server.machine_id] = store
+        return store
+
+    def _next_injection_server(self) -> Server:
+        if self._injection_cycle is None:
+            self._injection_cycle = itertools.cycle(self.injection_servers())
+        return next(self._injection_cycle)
+
+    def submit(
+        self,
+        request: object,
+        server: Server | None = None,
+        timeout_ns: float = 5 * SEC,
+        arrived_ns: float | None = None,
+        include_prep: bool = True,
+    ) -> typing.Generator:
+        """Dispatch one request through this ring (a generator).
+
+        Acquires a slot lease on an injection server (round-robin over
+        the ring unless ``server`` is given), performs the adapter's
+        host-side prep, injects to the head node, and waits for the
+        response.  Returns the response payload, or ``None`` on a
+        fabric timeout.  Latency is recorded from ``arrived_ns`` (the
+        open-loop arrival instant) so queueing delay is included.
+        """
+        if self.assignment is None:
+            raise RuntimeError(f"{self.name}: submit() before deploy()")
+        server = server or self._next_injection_server()
+        arrived = arrived_ns if arrived_ns is not None else self.engine.now
+        self.outstanding += 1
+        store = self._leases(server)
+        quarantined = False
+        try:
+            lease = yield store.get()
+            try:
+                if include_prep:
+                    yield from self.adapter.prep(server)
+                try:
+                    response = yield from lease.request(
+                        dst=self.head_node,
+                        size_bytes=self.adapter.size_of(request),
+                        payload=self.adapter.payload_for(request),
+                        timeout_ns=timeout_ns,
+                    )
+                except RequestTimeout:
+                    self.timeouts += 1
+                    quarantined = True
+                    self._quarantine(server, lease, store)
+                    return None
+                self.latencies_ns.append(self.engine.now - arrived)
+                self.completed += 1
+                self.meter.record()
+                return response
+            finally:
+                if not quarantined:
+                    yield store.put(lease)
+        finally:
+            self.outstanding -= 1
+
+    def _quarantine(self, server: Server, lease, store: Store) -> None:
+        """Hold a timed-out lease out of the pool until its slot drains.
+
+        The abandoned request left a consume callback armed on the
+        lease's output slot; if the late response ever arrives it would
+        be swallowed as the *next* request's response.  A daemon process
+        waits for the slot to fill-and-drain before recycling the lease;
+        if the response was truly lost in the fabric, the lease stays
+        retired.
+        """
+
+        def drain() -> typing.Generator:
+            yield server.buffers.consume_output(lease.slot_id)
+            yield store.put(lease)
+
+        # Not a daemon: a blocked process does not keep a bare run()
+        # alive, and the lease hand-back must stay on the non-daemon
+        # dispatch chain so waiting submitters actually resume.
+        self.engine.process(
+            drain(), name=f"quarantine:{server.machine_id}:{lease.slot_id}"
+        )
+
+    # -- closed-loop injection (§5 methodology) --------------------------------
+
+    def spawn_injector(
+        self,
+        server: Server,
+        threads: int,
+        pool: list,
+        requests_per_thread: int,
+        include_prep: bool = True,
+        timeout_ns: float = 1e9,
+    ) -> tuple[Event, InjectorStats]:
+        """Closed-loop injection from ``server`` with ``threads`` threads.
+
+        Each thread repeatedly: does the adapter's software portion when
+        ``include_prep``, fills its slot, and sleeps until the response
+        interrupt.  Returns a completion event plus the stats object
+        (filled in-place).
+        """
+        client = SlotClient(server)
+        stats = InjectorStats(latencies_ns=[], timeouts=0, completed=0)
+        pool_cycle = itertools.cycle(pool)
+        done = self.engine.event(name=f"injector:{server.machine_id}")
+
+        def thread_body(lease) -> typing.Generator:
+            for _ in range(requests_per_thread):
+                request = next(pool_cycle)
+                started = self.engine.now
+                if include_prep:
+                    yield from self.adapter.prep(server)
+                try:
+                    yield from lease.request(
+                        dst=self.head_node,
+                        size_bytes=self.adapter.size_of(request),
+                        payload=self.adapter.payload_for(request),
+                        timeout_ns=timeout_ns,
+                    )
+                except RequestTimeout:
+                    stats.timeouts += 1
+                    continue
+                stats.latencies_ns.append(self.engine.now - started)
+                stats.completed += 1
+                self.meter.record()
+
+        def waiter(procs) -> typing.Generator:
+            yield AllOf(self.engine, procs)
+            done.succeed(stats)
+
+        procs = [
+            self.engine.process(thread_body(lease), name=f"inj.{server.machine_id}")
+            for lease in client.leases(threads)
+        ]
+        self.engine.process(waiter(procs))
+        return done, stats
+
+    def __repr__(self) -> str:
+        return (
+            f"<Deployment {self.name} completed={self.completed} "
+            f"outstanding={self.outstanding}>"
+        )

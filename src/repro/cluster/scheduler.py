@@ -1,0 +1,199 @@
+"""The cluster scheduler: placing services onto rings across pods.
+
+The production deployment (§2.3) ran one service over 1,632 machines —
+34 pods, each offering six 8-FPGA rings.  The scheduler owns that
+ring-granular resource view: it tracks which :class:`RingSlot`s are
+occupied, places new :class:`ServiceDefinition` instances under a
+placement policy, and accounts for capacity and spares so operators can
+ask "how many more rings can this datacenter absorb?".
+
+Placement policies:
+
+``spread``
+    Round-robin across pods — each successive ring lands in the next
+    pod with a free slot.  Spreads a service's blast radius across
+    power domains and top-of-rack switches (each pod has its own PDU
+    and TOR, §2.2).
+
+``pack``
+    Fill a pod's rings before opening the next pod.  Minimises the
+    number of pods that must be built/powered for small services.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.deployment import Deployment, RequestAdapter
+from repro.fabric.datacenter import Datacenter, RingSlot
+from repro.services.mapping_manager import MappingManager, ServiceDefinition
+
+PLACEMENT_POLICIES = ("spread", "pack")
+
+
+class InsufficientClusterCapacity(Exception):
+    """More rings requested than the datacenter has free."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementDecision:
+    """One scheduler decision: which service landed on which ring."""
+
+    service: str
+    slot: RingSlot
+    spares: int
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacityReport:
+    """Ring-granular capacity accounting for the whole datacenter."""
+
+    total_rings: int
+    occupied_rings: int
+    total_spare_nodes: int
+
+    @property
+    def free_rings(self) -> int:
+        return self.total_rings - self.occupied_rings
+
+    @property
+    def utilization(self) -> float:
+        return self.occupied_rings / self.total_rings if self.total_rings else 0.0
+
+
+class ClusterScheduler:
+    """Places service instances onto free torus rings across pods."""
+
+    def __init__(self, datacenter: Datacenter, policy: str = "spread"):
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; "
+                f"choose from {PLACEMENT_POLICIES}"
+            )
+        self.datacenter = datacenter
+        self.engine = datacenter.engine
+        self.policy = policy
+        self.decisions: list[PlacementDecision] = []
+        self._occupied: dict[RingSlot, Deployment] = {}
+        self._mapping_managers: dict[int, MappingManager] = {}
+        self._next_pod_id = 0  # spread policy's round-robin cursor
+
+    # -- resource view ---------------------------------------------------------
+
+    def mapping_manager(self, pod_id: int) -> MappingManager:
+        """The (shared, per-pod) mapping manager for ``pod_id``."""
+        if pod_id not in self._mapping_managers:
+            self._mapping_managers[pod_id] = MappingManager(
+                self.engine, self.datacenter.pod(pod_id)
+            )
+        return self._mapping_managers[pod_id]
+
+    def free_slots(self) -> list[RingSlot]:
+        return [
+            slot for slot in self.datacenter.ring_slots()
+            if slot not in self._occupied
+        ]
+
+    def deployments(self) -> list[Deployment]:
+        return [self._occupied[slot] for slot in sorted(self._occupied)]
+
+    def capacity_report(self) -> CapacityReport:
+        return CapacityReport(
+            total_rings=self.datacenter.total_rings,
+            occupied_rings=len(self._occupied),
+            total_spare_nodes=sum(
+                deployment.spare_count for deployment in self._occupied.values()
+            ),
+        )
+
+    # -- placement -------------------------------------------------------------
+
+    def _choose(self, count: int) -> list[RingSlot]:
+        free = self.free_slots()
+        if len(free) < count:
+            raise InsufficientClusterCapacity(
+                f"need {count} rings, only {len(free)} of "
+                f"{self.datacenter.total_rings} free"
+            )
+        if self.policy == "pack":
+            return free[:count]
+        # spread: take one slot from each pod in turn until satisfied,
+        # starting from the round-robin cursor so successive deploy()
+        # calls keep rotating across pods instead of restarting at pod 0.
+        by_pod: dict[int, list[RingSlot]] = {}
+        for slot in free:
+            by_pod.setdefault(slot.pod_id, []).append(slot)
+        pods = sorted(by_pod)
+        start = 0
+        for index, pod_id in enumerate(pods):
+            if pod_id >= self._next_pod_id:
+                start = index
+                break
+        queues = [by_pod[pod_id] for pod_id in pods[start:] + pods[:start]]
+        chosen: list[RingSlot] = []
+        while len(chosen) < count:
+            for queue in queues:
+                if queue and len(chosen) < count:
+                    chosen.append(queue.pop(0))
+        self._next_pod_id = chosen[-1].pod_id + 1
+        return chosen
+
+    def deploy(
+        self,
+        service: ServiceDefinition,
+        rings: int = 1,
+        adapter: RequestAdapter | None = None,
+        slots_per_server: int = 48,
+    ) -> list[Deployment]:
+        """Place ``service`` on ``rings`` free rings and configure them.
+
+        Each chosen ring gets its own :class:`Deployment` (sharing the
+        pod's mapping manager so failure handling sees every assignment)
+        and is fully configured — FPGA images written, RX-Halt released
+        — before this returns.
+        """
+        if rings < 1:
+            raise ValueError(f"need at least one ring, got {rings}")
+        chosen = self._choose(rings)
+        deployments = []
+        for slot in chosen:
+            deployment = Deployment(
+                self.engine,
+                self.datacenter.pod(slot.pod_id),
+                service,
+                ring_x=slot.ring_x,
+                adapter=adapter,
+                mapping_manager=self.mapping_manager(slot.pod_id),
+                slots_per_server=slots_per_server,
+            )
+            deployment.deploy()
+            self._occupied[slot] = deployment
+            self.decisions.append(
+                PlacementDecision(
+                    service=service.name, slot=slot, spares=deployment.spare_count
+                )
+            )
+            deployments.append(deployment)
+        return deployments
+
+    def release(self, deployment: Deployment) -> RingSlot:
+        """Return a deployment's ring to the free pool (scale-down).
+
+        Also deregisters the ring's assignment from the pod's mapping
+        manager so later failure reports no longer act on it.
+        """
+        for slot, occupant in self._occupied.items():
+            if occupant is deployment:
+                del self._occupied[slot]
+                manager = deployment.mapping_manager
+                if deployment.assignment in manager.assignments:
+                    manager.assignments.remove(deployment.assignment)
+                return slot
+        raise KeyError(f"{deployment.name} is not placed by this scheduler")
+
+    def __repr__(self) -> str:
+        report = self.capacity_report()
+        return (
+            f"<ClusterScheduler {self.policy} "
+            f"{report.occupied_rings}/{report.total_rings} rings>"
+        )

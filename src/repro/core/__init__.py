@@ -10,7 +10,7 @@ work, watch health, survive failures.
 stage role measured standalone in PCIe-only or SL3-loopback mode.
 """
 
-from repro.core.fabric import CatapultFabric
+from repro.core.fabric import CatapultFabric, RankingCluster
 from repro.core.loopback import LoopbackHarness, LoopbackMode
 
-__all__ = ["CatapultFabric", "LoopbackHarness", "LoopbackMode"]
+__all__ = ["CatapultFabric", "LoopbackHarness", "LoopbackMode", "RankingCluster"]

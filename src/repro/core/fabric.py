@@ -2,17 +2,39 @@
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
+from repro.cluster.load_balancer import LoadBalancer
+from repro.cluster.scheduler import ClusterScheduler
 from repro.fabric.datacenter import Datacenter
 from repro.fabric.pod import Pod
 from repro.fabric.torus import NodeId, TorusTopology
+from repro.ranking.engine import ScoringEngine
 from repro.ranking.models import ModelLibrary
-from repro.ranking.pipeline import RankingPipeline
+from repro.ranking.pipeline import (
+    RankingPipeline,
+    RankingRequestAdapter,
+    ranking_service,
+)
 from repro.services.health_monitor import HealthMonitor, HealthReport
 from repro.services.mapping_manager import MappingManager
 from repro.shell.shell import ShellConfig
 from repro.sim import Engine
+
+
+@dataclasses.dataclass
+class RankingCluster:
+    """A ranking service deployed across rings, behind a front end."""
+
+    scheduler: ClusterScheduler
+    balancer: LoadBalancer
+    scoring_engine: ScoringEngine
+    library: ModelLibrary
+
+    @property
+    def deployments(self):
+        return self.balancer.deployments
 
 
 class CatapultFabric:
@@ -83,6 +105,38 @@ class CatapultFabric:
         pipeline.mapping_manager = self.mapping_manager(pod_id)
         pipeline.deploy()
         return pipeline
+
+    def deploy_ranking_cluster(
+        self,
+        rings: int = 1,
+        placement_policy: str = "spread",
+        balancing_policy: str = "least_outstanding",
+        library: ModelLibrary | None = None,
+        model_scale: float = 1.0,
+        qm_policy: str = "batch",
+    ) -> RankingCluster:
+        """Deploy ranking on ``rings`` rings across pods, front-ended.
+
+        Synthesizes the service once and shares its bitstreams and
+        scoring engine across every ring; the scheduler places rings
+        under ``placement_policy`` and the cluster's
+        :class:`LoadBalancer` dispatches under ``balancing_policy``.
+        ``model_scale`` applies only when no ``library`` is supplied.
+        """
+        library = library or ModelLibrary.default(scale=model_scale)
+        scoring_engine = ScoringEngine(library)
+        service = ranking_service(scoring_engine, qm_policy)
+        scheduler = ClusterScheduler(self.datacenter, policy=placement_policy)
+        deployments = scheduler.deploy(
+            service, rings=rings, adapter=RankingRequestAdapter()
+        )
+        balancer = LoadBalancer(self.engine, deployments, policy=balancing_policy)
+        return RankingCluster(
+            scheduler=scheduler,
+            balancer=balancer,
+            scoring_engine=scoring_engine,
+            library=library,
+        )
 
     # -- operations ---------------------------------------------------------------
 

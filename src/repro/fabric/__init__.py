@@ -10,7 +10,7 @@ from repro.fabric.cables import CableAssembly, WiringPlan
 from repro.fabric.ethernet import EthernetNetwork, RpcTimeout
 from repro.fabric.server import CrashSeverity, Server, ServerState
 from repro.fabric.pod import Pod
-from repro.fabric.datacenter import Datacenter, ManufacturingReport
+from repro.fabric.datacenter import Datacenter, ManufacturingReport, RingSlot
 
 __all__ = [
     "CableAssembly",
@@ -19,6 +19,7 @@ __all__ = [
     "EthernetNetwork",
     "ManufacturingReport",
     "Pod",
+    "RingSlot",
     "RpcTimeout",
     "Server",
     "ServerState",

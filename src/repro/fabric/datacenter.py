@@ -27,6 +27,19 @@ from repro.shell.shell import ShellConfig
 from repro.sim import Engine
 
 
+@dataclasses.dataclass(frozen=True, order=True)
+class RingSlot:
+    """One deployable ring: column ``ring_x`` of pod ``pod_id``.
+
+    The scheduling unit of the cluster layer — the paper's engine "maps
+    to rings of eight FPGAs on one dimension of the torus" (§4), and
+    the datacenter scales by filling many such rings across pods.
+    """
+
+    pod_id: int
+    ring_x: int
+
+
 @dataclasses.dataclass(frozen=True)
 class ManufacturingReport:
     """Outcome of deployment-time card/cable testing."""
@@ -96,6 +109,28 @@ class Datacenter:
     @property
     def racks(self) -> int:
         return (self.num_pods + 1) // 2  # two pods per rack
+
+    # -- ring/pod enumeration (cluster scheduling) ---------------------------
+
+    @property
+    def rings_per_pod(self) -> int:
+        return self.topology.width
+
+    @property
+    def total_rings(self) -> int:
+        return self.num_pods * self.rings_per_pod
+
+    def ring_slots(self) -> list[RingSlot]:
+        """Every deployable ring, pod-major, without building any pod."""
+        return [
+            RingSlot(pod_id, ring_x)
+            for pod_id in range(self.num_pods)
+            for ring_x in range(self.rings_per_pod)
+        ]
+
+    def ring_servers(self, slot: RingSlot) -> list:
+        """The servers of one ring slot (builds the pod on first use)."""
+        return self.pod(slot.pod_id).ring(slot.ring_x)
 
     # -- §2.3 manufacturing statistics ------------------------------------------
 

@@ -45,6 +45,7 @@ class Pod:
         self.servers: dict[NodeId, Server] = {}
         self.links: list[Sl3Link] = []
         self.assemblies: dict[str, CableAssembly] = {}
+        self._link_index: dict[frozenset, Sl3Link] = {}
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -78,6 +79,9 @@ class Pod:
                 name=f"pod{self.pod_id}:{src}:{src_port.value}",
             )
             self.links.append(link)
+            # First link wired between a pair wins (a 2-wide torus wires
+            # two parallel links per east-west pair).
+            self._link_index.setdefault(frozenset((src, dst)), link)
             name = index_to_assembly[index]
             assembly = self.assemblies.setdefault(
                 name, CableAssembly(name=f"pod{self.pod_id}:{name}")
@@ -117,17 +121,10 @@ class Pod:
             server.shell.release_rx_halt()
 
     def link_between(self, a: NodeId, b: NodeId) -> Sl3Link | None:
-        """The physical link wired between two nodes, if any."""
-        shells = {self.servers[a].shell, self.servers[b].shell}
-        for link in self.links:
-            owners = set()
-            for endpoint in (link.a, link.b):
-                for server in (self.servers[a], self.servers[b]):
-                    if endpoint in server.shell.endpoints.values():
-                        owners.add(server.shell)
-            if owners == shells:
-                return link
-        return None
+        """The physical link wired between two nodes, if any (O(1))."""
+        if a not in self.servers or b not in self.servers:
+            raise KeyError(f"{a if a not in self.servers else b} is not a pod node")
+        return self._link_index.get(frozenset((a, b)))
 
     def __repr__(self) -> str:
         return f"<Pod {self.pod_id}: {len(self.servers)} servers, {len(self.links)} links>"

@@ -3,23 +3,23 @@
 ``ranking_service`` builds the :class:`ServiceDefinition` mapping the
 eight ranking roles (Figure 5) onto a ring, with bitstreams synthesized
 from the Table-1-calibrated component library.  :class:`RankingPipeline`
-wraps deployment and provides the injection machinery the evaluation
-benches use: closed-loop injector threads that perform the software
-portion of scoring (SSD lookup, hit-vector computation — §4) before
-injecting to the local FPGA, and latency/throughput collection.
+is a thin per-ring adapter over the generic cluster-layer
+:class:`~repro.cluster.deployment.Deployment`: the injection machinery
+(closed-loop injector threads, single-request dispatch) is inherited,
+with :class:`RankingRequestAdapter` supplying the ranking-specific
+parts — the software portion of scoring (SSD lookup, hit-vector
+computation on a CPU core, §4) and the :class:`RankingPayload` that
+rides the ring.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import itertools
 import typing
 
-from repro.analysis import LatencyStats, ThroughputMeter
+from repro.cluster.deployment import Deployment, InjectorStats, RequestAdapter
 from repro.fabric.pod import Pod
 from repro.fabric.server import Server
 from repro.hardware.synthesis import synthesize
-from repro.host.slots import RequestTimeout, SlotClient
 from repro.ranking.engine import ScoringEngine
 from repro.ranking.models import ModelLibrary
 from repro.ranking.stages import (
@@ -31,16 +31,25 @@ from repro.ranking.stages import (
     SpareRankingRole,
 )
 from repro.services.mapping_manager import (
-    MappingManager,
     RingAssignment,
     RoleSpec,
     ServiceDefinition,
 )
-from repro.sim import Engine, Event
+from repro.sim import Engine
 from repro.sim.units import US
 
 if typing.TYPE_CHECKING:  # pragma: no cover - avoids a package cycle
     from repro.workloads.traces import ScoringRequest
+
+__all__ = [
+    "HOST_PREP_CPU_NS",
+    "InjectorStats",
+    "RankingPipeline",
+    "RankingRequestAdapter",
+    "SSD_LOOKUP_NS",
+    "ranking_bitstreams",
+    "ranking_service",
+]
 
 # Host-side software portion per request (§4): SSD metastream fetch and
 # hit-vector computation + encoding on a CPU core.
@@ -119,19 +128,22 @@ def ranking_service(
     return ServiceDefinition(name="bing-ranking", roles=roles, spare=spare)
 
 
-@dataclasses.dataclass
-class InjectorStats:
-    """Results from one injector (a server's worth of threads)."""
+class RankingRequestAdapter(RequestAdapter):
+    """Ranking-specific dispatch: host prep plus the ring payload (§4)."""
 
-    latencies_ns: list
-    timeouts: int
-    completed: int
+    def payload_for(self, request: "ScoringRequest") -> RankingPayload:
+        return RankingPayload(document=request.document)
 
-    def stats(self) -> LatencyStats:
-        return LatencyStats.from_samples(self.latencies_ns)
+    def size_of(self, request: "ScoringRequest") -> int:
+        return request.size_bytes
+
+    def prep(self, server: Server) -> typing.Generator:
+        """SSD metastream fetch, then hit-vector prep on a CPU core."""
+        yield server.engine.timeout(SSD_LOOKUP_NS)
+        yield from server.run_on_core(HOST_PREP_CPU_NS)
 
 
-class RankingPipeline:
+class RankingPipeline(Deployment):
     """One deployed ranking ring plus its injection helpers."""
 
     def __init__(
@@ -142,32 +154,15 @@ class RankingPipeline:
         ring_x: int = 0,
         qm_policy: str = "batch",
     ):
-        self.engine = engine
-        self.pod = pod
         self.library = library
-        self.ring_x = ring_x
         self.scoring_engine = ScoringEngine(library)
-        self.mapping_manager = MappingManager(engine, pod)
-        self.service = ranking_service(self.scoring_engine, qm_policy)
-        self.assignment: RingAssignment | None = None
-        self.meter = ThroughputMeter(engine)
-
-    # -- deployment ------------------------------------------------------------
-
-    def deploy(self) -> RingAssignment:
-        done = self.mapping_manager.deploy(self.service, self.ring_x)
-        self.assignment = self.engine.run_until(done)
-        return self.assignment
-
-    @property
-    def head_node(self):
-        return self.assignment.head_node()
-
-    def stage_role(self, role_name: str):
-        node = self.assignment.node_of(role_name)
-        return self.pod.server_at(node).shell.role
-
-    # -- injection ---------------------------------------------------------------
+        super().__init__(
+            engine,
+            pod,
+            ranking_service(self.scoring_engine, qm_policy),
+            ring_x=ring_x,
+            adapter=RankingRequestAdapter(),
+        )
 
     def make_request_pool(
         self, count: int, seed: int = 1, model_mix: dict | None = None
@@ -176,60 +171,3 @@ class RankingPipeline:
 
         generator = TraceGenerator(seed=seed, model_mix=model_mix)
         return [generator.request() for _ in range(count)]
-
-    def spawn_injector(
-        self,
-        server: Server,
-        threads: int,
-        pool: list,
-        requests_per_thread: int,
-        include_prep: bool = True,
-        timeout_ns: float = 1e9,
-    ) -> tuple[Event, InjectorStats]:
-        """Closed-loop injection from ``server`` with ``threads`` threads.
-
-        Each thread repeatedly: does the software portion (SSD +
-        hit-vector prep on a core, §4) when ``include_prep``, fills its
-        slot, and sleeps until the score interrupt.  Returns a
-        completion event plus the stats object (filled in-place).
-        """
-        client = SlotClient(server)
-        stats = InjectorStats(latencies_ns=[], timeouts=0, completed=0)
-        pool_cycle = itertools.cycle(pool)
-        finished: list = []
-        done = self.engine.event(name=f"injector:{server.machine_id}")
-
-        def thread_body(lease) -> typing.Generator:
-            for _ in range(requests_per_thread):
-                request = next(pool_cycle)
-                started = self.engine.now
-                if include_prep:
-                    yield server.engine.timeout(SSD_LOOKUP_NS)
-                    yield from server.run_on_core(HOST_PREP_CPU_NS)
-                payload = RankingPayload(document=request.document)
-                try:
-                    yield from lease.request(
-                        dst=self.head_node,
-                        size_bytes=request.size_bytes,
-                        payload=payload,
-                        timeout_ns=timeout_ns,
-                    )
-                except RequestTimeout:
-                    stats.timeouts += 1
-                    continue
-                stats.latencies_ns.append(self.engine.now - started)
-                stats.completed += 1
-                self.meter.record()
-
-        def waiter(procs) -> typing.Generator:
-            from repro.sim import AllOf
-
-            yield AllOf(self.engine, procs)
-            done.succeed(stats)
-
-        procs = [
-            self.engine.process(thread_body(lease), name=f"inj.{server.machine_id}")
-            for lease in client.leases(threads)
-        ]
-        self.engine.process(waiter(procs))
-        return done, stats

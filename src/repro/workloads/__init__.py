@@ -6,9 +6,32 @@ to every statistic the paper reports: compressed sizes averaging
 6.5 KB with a 53 KB 99th percentile and ~0.14 % above the 64 KB
 truncation threshold (Figure 4), Zipfian query-term popularity, and a
 multi-model query mix for Queue Manager experiments.
+
+:mod:`repro.workloads.openloop` adds the open-loop traffic layer —
+Poisson, bursty, and diurnal arrival processes with admission control —
+that drives the cluster front end; the closed-loop injector threads of
+§5 live on :class:`repro.cluster.Deployment`.
 """
 
+from repro.workloads.openloop import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    OpenLoopInjector,
+    OpenLoopStats,
+    PoissonArrivals,
+)
 from repro.workloads.sizes import DocumentSizeDistribution
 from repro.workloads.traces import ScoringRequest, TraceGenerator
 
-__all__ = ["DocumentSizeDistribution", "ScoringRequest", "TraceGenerator"]
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "DocumentSizeDistribution",
+    "OpenLoopInjector",
+    "OpenLoopStats",
+    "PoissonArrivals",
+    "ScoringRequest",
+    "TraceGenerator",
+]

@@ -1,0 +1,201 @@
+"""Open-loop traffic: arrival processes, admission control, backpressure.
+
+The closed-loop injector threads of §5 (send, sleep, repeat) measure
+pipeline capacity, but "heavy traffic from millions of users" is
+open-loop: arrivals occur at the offered rate whether or not earlier
+requests have finished.  This module provides the arrival processes —
+memoryless Poisson, on/off bursts, and a sinusoidal diurnal curve — and
+an :class:`OpenLoopInjector` that feeds any sink exposing the
+``submit(request, timeout_ns=...)`` generator protocol (a
+:class:`~repro.cluster.load_balancer.LoadBalancer` or a single
+:class:`~repro.cluster.deployment.Deployment`).
+
+When a ``max_queue_depth`` is set, arrivals that would push the sink's
+in-flight count past the limit are rejected at admission instead of
+growing the backlog without bound — load shedding at the front door.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+import typing
+
+from repro.analysis import LatencyStats
+from repro.sim import AllOf, Engine, Event
+from repro.sim.units import SEC
+
+
+class ArrivalProcess:
+    """Base class: a (possibly time-varying) offered-load intensity."""
+
+    def rate_at(self, now_ns: float) -> float:
+        raise NotImplementedError
+
+    def interarrival_ns(self, rng: random.Random, now_ns: float) -> float:
+        """Exponential gap at the instantaneous rate (thinning-free)."""
+        rate = self.rate_at(now_ns)
+        if rate <= 0.0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        return rng.expovariate(1.0) * (SEC / rate)
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant offered rate."""
+
+    def __init__(self, rate_per_s: float):
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_s}")
+        self.rate_per_s = rate_per_s
+
+    def rate_at(self, now_ns: float) -> float:
+        return self.rate_per_s
+
+
+class BurstyArrivals(ArrivalProcess):
+    """On/off square-wave bursts: ``burst`` rate for ``duty`` of each period."""
+
+    def __init__(
+        self,
+        base_rate_per_s: float,
+        burst_rate_per_s: float,
+        period_s: float,
+        duty: float = 0.5,
+    ):
+        if base_rate_per_s <= 0 or burst_rate_per_s <= 0:
+            raise ValueError("rates must be positive")
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        if not 0.0 < duty < 1.0:
+            raise ValueError(f"duty must be in (0,1), got {duty}")
+        self.base_rate_per_s = base_rate_per_s
+        self.burst_rate_per_s = burst_rate_per_s
+        self.period_ns = period_s * SEC
+        self.duty = duty
+
+    def rate_at(self, now_ns: float) -> float:
+        phase = (now_ns % self.period_ns) / self.period_ns
+        return self.burst_rate_per_s if phase < self.duty else self.base_rate_per_s
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal day curve: ``mean * (1 + amplitude * sin(2πt/period))``."""
+
+    def __init__(
+        self,
+        mean_rate_per_s: float,
+        amplitude: float = 0.5,
+        period_s: float = 86_400.0,
+    ):
+        if mean_rate_per_s <= 0:
+            raise ValueError(f"mean rate must be positive, got {mean_rate_per_s}")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0,1), got {amplitude}")
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.mean_rate_per_s = mean_rate_per_s
+        self.amplitude = amplitude
+        self.period_ns = period_s * SEC
+
+    def rate_at(self, now_ns: float) -> float:
+        phase = 2.0 * math.pi * (now_ns % self.period_ns) / self.period_ns
+        return self.mean_rate_per_s * (1.0 + self.amplitude * math.sin(phase))
+
+
+@dataclasses.dataclass
+class OpenLoopStats:
+    """Counters and samples from one open-loop run."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    timeouts: int = 0
+    latencies_ns: list = dataclasses.field(default_factory=list)
+
+    @property
+    def admission_fraction(self) -> float:
+        return self.admitted / self.offered if self.offered else 0.0
+
+    def stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.latencies_ns)
+
+
+class _SinkProtocol(typing.Protocol):  # pragma: no cover - typing aid
+    outstanding: int
+
+    def submit(self, request, timeout_ns: float) -> typing.Generator: ...
+
+
+class OpenLoopInjector:
+    """Drives a sink with open-loop arrivals plus admission control."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: "_SinkProtocol",
+        arrivals: ArrivalProcess,
+        pool: typing.Sequence,
+        max_queue_depth: int | None = None,
+        timeout_ns: float = 5 * SEC,
+        seed_tag: str = "openloop",
+    ):
+        if not pool:
+            raise ValueError("request pool must be non-empty")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"queue depth must be positive, got {max_queue_depth}")
+        self.engine = engine
+        self.sink = sink
+        self.arrivals = arrivals
+        self.pool = list(pool)
+        self.max_queue_depth = max_queue_depth
+        self.timeout_ns = timeout_ns
+        self.stats = OpenLoopStats()
+        self._rng = engine.rng.stream(f"openloop:{seed_tag}")
+        self._pool_index = 0
+
+    def _next_request(self):
+        request = self.pool[self._pool_index % len(self.pool)]
+        self._pool_index += 1
+        return request
+
+    def run(self, count: int) -> Event:
+        """Offer ``count`` arrivals; the event fires when all admitted
+        requests have resolved (response, timeout, or rejection)."""
+        if count < 1:
+            raise ValueError(f"need at least one arrival, got {count}")
+        done = self.engine.event(name="openloop:done")
+        self.engine.process(self._arrivals_body(count, done), name="openloop.src")
+        return done
+
+    def _arrivals_body(self, count: int, done: Event) -> typing.Generator:
+        children = []
+        for _ in range(count):
+            yield self.engine.timeout(
+                self.arrivals.interarrival_ns(self._rng, self.engine.now)
+            )
+            self.stats.offered += 1
+            if (
+                self.max_queue_depth is not None
+                and self.sink.outstanding >= self.max_queue_depth
+            ):
+                self.stats.rejected += 1
+                continue
+            self.stats.admitted += 1
+            children.append(
+                self.engine.process(
+                    self._handle(self._next_request(), self.engine.now)
+                )
+            )
+        if children:
+            yield AllOf(self.engine, children)
+        done.succeed(self.stats)
+
+    def _handle(self, request, arrived_ns: float) -> typing.Generator:
+        response = yield from self.sink.submit(request, timeout_ns=self.timeout_ns)
+        if response is None:
+            self.stats.timeouts += 1
+            return
+        self.stats.completed += 1
+        self.stats.latencies_ns.append(self.engine.now - arrived_ns)

@@ -9,6 +9,7 @@ experiments, §4.3).
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import random
 import typing
@@ -60,14 +61,8 @@ class ZipfSampler:
 
     def sample(self) -> int:
         u = self.rng.random()
-        lo, hi = 0, len(self.cdf) - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.cdf[mid] < u:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
+        # Clamp: float rounding can leave the final CDF entry below 1.0.
+        return min(bisect.bisect_left(self.cdf, u), len(self.cdf) - 1)
 
 
 class TraceGenerator:
@@ -79,11 +74,17 @@ class TraceGenerator:
         vocabulary: int = 5_000,
         model_mix: dict[int, float] | None = None,
     ):
+        if model_mix is None:
+            model_mix = {0: 1.0}
+        if not model_mix:
+            raise ValueError("model_mix must be non-empty")
+        if any(weight <= 0 for weight in model_mix.values()):
+            raise ValueError(f"model_mix weights must be positive, got {model_mix}")
         self.rng = random.Random(seed)
         self.sizes = DocumentSizeDistribution(self.rng)
         self.terms = ZipfSampler(vocabulary, self.rng)
         self.codec = DocumentCodec()
-        self.model_mix = model_mix or {0: 1.0}
+        self.model_mix = dict(model_mix)
         self._model_ids = list(self.model_mix)
         self._model_weights = list(self.model_mix.values())
         self._next_query_id = 0

@@ -1,0 +1,354 @@
+"""Tests for the cluster layer: scheduler, deployments, load balancer."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterScheduler,
+    Deployment,
+    InsufficientClusterCapacity,
+    LoadBalancer,
+    NoHealthyDeployment,
+    RequestAdapter,
+    RingSlot,
+)
+from repro.core import CatapultFabric
+from repro.fabric import Datacenter, TorusTopology
+from repro.hardware import Bitstream, ResourceBudget
+from repro.services.mapping_manager import RoleSpec, ServiceDefinition
+from repro.shell import PacketKind, Role
+from repro.shell.role import PassthroughRole
+from repro.sim import Engine
+from repro.workloads import OpenLoopInjector, PoissonArrivals
+
+
+class ClusterEchoRole(Role):
+    """Head role of the test service: scores a request after a delay."""
+
+    name = "echo"
+
+    def handle(self, packet):
+        yield self.shell.engine.timeout(2_000.0)
+        if packet.kind is PacketKind.REQUEST:
+            yield self.send(packet.response_to(size_bytes=64, payload="scored"))
+
+
+def echo_service(name="echo-service") -> ServiceDefinition:
+    def bitstream(role):
+        return Bitstream(
+            role_name=role, role_budget=ResourceBudget(alms=1000), clock_mhz=175.0
+        )
+
+    return ServiceDefinition(
+        name=name,
+        roles=(
+            RoleSpec(
+                name="echo",
+                bitstream=bitstream("echo"),
+                factory=lambda assignment, name: ClusterEchoRole(),
+            ),
+        ),
+        spare=RoleSpec(
+            name="spare",
+            bitstream=bitstream("spare"),
+            factory=lambda assignment, name: PassthroughRole(),
+        ),
+    )
+
+
+def small_datacenter(seed=3, pods=2):
+    eng = Engine(seed=seed)
+    return eng, Datacenter(eng, num_pods=pods, topology=TorusTopology(width=2, height=3))
+
+
+@pytest.fixture
+def request_pool():
+    return [object() for _ in range(8)]
+
+
+# --- scheduler placement -----------------------------------------------------------
+
+
+def test_spread_policy_alternates_pods():
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc, policy="spread")
+    scheduler.deploy(echo_service(), rings=4)
+    pods = [decision.slot.pod_id for decision in scheduler.decisions]
+    assert pods == [0, 1, 0, 1]
+
+
+def test_pack_policy_fills_first_pod():
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc, policy="pack")
+    scheduler.deploy(echo_service(), rings=3)
+    slots = [(d.slot.pod_id, d.slot.ring_x) for d in scheduler.decisions]
+    assert slots == [(0, 0), (0, 1), (1, 0)]
+
+
+def test_spread_cursor_persists_across_deploy_calls():
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc, policy="spread")
+    scheduler.deploy(echo_service("a"), rings=1)
+    scheduler.deploy(echo_service("b"), rings=1)
+    # Incremental scale-up must keep rotating pods, not restart at pod 0.
+    assert [d.slot.pod_id for d in scheduler.decisions] == [0, 1]
+
+
+def test_unknown_policy_rejected():
+    _eng, dc = small_datacenter()
+    with pytest.raises(ValueError):
+        ClusterScheduler(dc, policy="random")
+
+
+def test_capacity_exhaustion_raises():
+    _eng, dc = small_datacenter()  # 2 pods x 2 rings
+    scheduler = ClusterScheduler(dc)
+    scheduler.deploy(echo_service(), rings=4)
+    with pytest.raises(InsufficientClusterCapacity):
+        scheduler.deploy(echo_service("second"), rings=1)
+
+
+def test_capacity_report_and_release():
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc)
+    deployments = scheduler.deploy(echo_service(), rings=2)
+    report = scheduler.capacity_report()
+    assert (report.total_rings, report.occupied_rings, report.free_rings) == (4, 2, 2)
+    # 3-node ring, 1 active role -> 2 spares per ring.
+    assert report.total_spare_nodes == 4
+    assert report.utilization == pytest.approx(0.5)
+
+    freed = scheduler.release(deployments[0])
+    assert freed == RingSlot(0, 0)
+    assert scheduler.capacity_report().occupied_rings == 1
+    assert RingSlot(0, 0) in scheduler.free_slots()
+    # The stale assignment must leave the mapping manager, so later
+    # failure reports no longer act on the released ring.
+    assert deployments[0].assignment not in (
+        scheduler.mapping_manager(0).assignments
+    )
+    # spread placed deployments[1] on pod 1; its assignment survives.
+    assert deployments[1].assignment in scheduler.mapping_manager(1).assignments
+    with pytest.raises(KeyError):
+        scheduler.release(deployments[0])
+
+
+def test_ring_slot_enumeration_is_lazy():
+    _eng, dc = small_datacenter()
+    assert len(dc.ring_slots()) == dc.total_rings == 4
+    assert dc.rings_per_pod == 2
+    assert dc.built_pods == []  # enumeration must not build pods
+
+
+# --- deployment dispatch ------------------------------------------------------------
+
+
+def test_submit_roundtrip_and_accounting(request_pool):
+    eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc)
+    (deployment,) = scheduler.deploy(echo_service(), rings=1)
+    results = []
+
+    def driver():
+        response = yield from deployment.submit(request_pool[0])
+        results.append(response)
+
+    eng.process(driver())
+    eng.run()
+    assert len(results) == 1
+    assert results[0].payload == "scored"
+    assert deployment.completed == 1
+    assert deployment.outstanding == 0
+    assert len(deployment.latencies_ns) == 1
+
+
+def test_timed_out_lease_is_quarantined_until_slot_drains():
+    eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc)
+    (deployment,) = scheduler.deploy(echo_service(), rings=1, slots_per_server=1)
+    server = deployment.injection_servers()[0]
+    results = []
+
+    def driver():
+        # 1 ns timeout: guaranteed RequestTimeout; the late response
+        # must NOT be swallowed as the second request's response.
+        first = yield from deployment.submit(object(), server=server, timeout_ns=1.0)
+        second = yield from deployment.submit(object(), server=server)
+        results.append((first, second))
+
+    eng.process(driver())
+    eng.run()
+    first, second = results[0]
+    assert first is None
+    assert deployment.timeouts == 1
+    assert second is not None and second.payload == "scored"
+    assert deployment.completed == 1
+    assert deployment.outstanding == 0
+
+
+def test_submit_before_deploy_raises():
+    eng, dc = small_datacenter()
+    deployment = Deployment(eng, dc.pod(0), echo_service())
+    with pytest.raises(RuntimeError):
+        next(deployment.submit(object()))
+
+
+def test_health_weight_tracks_exclusions():
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc)
+    (deployment,) = scheduler.deploy(echo_service(), rings=1)
+    assert deployment.health_weight() == pytest.approx(1.0)
+    spare_node = deployment.assignment.spare_nodes[0]
+    deployment.assignment.exclude(spare_node)
+    assert deployment.health_weight() == pytest.approx(2 / 3)
+
+
+def test_default_adapter_passthrough():
+    adapter = RequestAdapter()
+    sentinel = object()
+    assert adapter.payload_for(sentinel) is sentinel
+    assert adapter.size_of(sentinel) == 64
+    assert list(adapter.prep(None)) == []
+
+
+# --- load balancer policies ----------------------------------------------------------
+
+
+class StubDeployment:
+    def __init__(self, name, outstanding=0, weight=1.0):
+        self.name = name
+        self.outstanding = outstanding
+        self._weight = weight
+
+    def health_weight(self):
+        return self._weight
+
+
+def test_round_robin_cycles_and_skips_unhealthy():
+    eng = Engine()
+    a, b, c = (
+        StubDeployment("a"),
+        StubDeployment("b", weight=0.0),
+        StubDeployment("c"),
+    )
+    balancer = LoadBalancer(eng, [a, b, c], policy="round_robin")
+    picks = [balancer.pick().name for _ in range(4)]
+    assert picks == ["a", "c", "a", "c"]
+
+
+def test_least_outstanding_picks_minimum():
+    eng = Engine()
+    a = StubDeployment("a", outstanding=5)
+    b = StubDeployment("b", outstanding=1)
+    c = StubDeployment("c", outstanding=3)
+    balancer = LoadBalancer(eng, [a, b, c], policy="least_outstanding")
+    assert balancer.pick().name == "b"
+    assert balancer.outstanding == 9
+
+
+def test_weighted_health_prefers_healthy():
+    eng = Engine(seed=9)
+    healthy = StubDeployment("healthy", weight=1.0)
+    degraded = StubDeployment("degraded", weight=0.05)
+    balancer = LoadBalancer(eng, [healthy, degraded], policy="weighted_health")
+    picks = [balancer.pick().name for _ in range(200)]
+    assert picks.count("healthy") > picks.count("degraded") * 5
+
+
+def test_no_healthy_deployment_raises():
+    eng = Engine()
+    balancer = LoadBalancer(eng, [StubDeployment("a", weight=0.0)])
+    with pytest.raises(NoHealthyDeployment):
+        balancer.pick()
+
+
+def test_balancer_validates_inputs():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        LoadBalancer(eng, [])
+    with pytest.raises(ValueError):
+        LoadBalancer(eng, [StubDeployment("a")], policy="fastest")
+
+
+def test_balancer_spreads_load_end_to_end(request_pool):
+    eng, dc = small_datacenter(seed=5)
+    scheduler = ClusterScheduler(dc)
+    deployments = scheduler.deploy(echo_service(), rings=4)
+    balancer = LoadBalancer(eng, deployments, policy="least_outstanding")
+    injector = OpenLoopInjector(
+        eng, balancer, PoissonArrivals(100_000.0), request_pool
+    )
+    stats = eng.run_until(injector.run(80))
+    assert stats.completed == 80
+    assert balancer.completed == 80
+    # Every ring took a share of the load.
+    assert all(d.completed > 0 for d in deployments)
+    assert sum(d.completed for d in deployments) == 80
+
+
+# --- determinism (same seed => byte-identical results) -------------------------------
+
+
+def full_cluster_run(seed):
+    eng, dc = small_datacenter(seed=seed)
+    scheduler = ClusterScheduler(dc, policy="spread")
+    deployments = scheduler.deploy(echo_service(), rings=4)
+    balancer = LoadBalancer(eng, deployments, policy="least_outstanding")
+    pool = [object() for _ in range(8)]
+    injector = OpenLoopInjector(
+        eng, balancer, PoissonArrivals(150_000.0), pool, max_queue_depth=32
+    )
+    stats = eng.run_until(injector.run(120))
+    placements = [(d.service, d.slot.pod_id, d.slot.ring_x) for d in scheduler.decisions]
+    return placements, stats
+
+
+def test_cluster_run_is_deterministic():
+    placements_a, stats_a = full_cluster_run(seed=1234)
+    placements_b, stats_b = full_cluster_run(seed=1234)
+    assert placements_a == placements_b
+    # Byte-identical latency samples, not merely statistically close.
+    assert stats_a.latencies_ns == stats_b.latencies_ns
+    assert (stats_a.admitted, stats_a.rejected, stats_a.completed) == (
+        stats_b.admitted,
+        stats_b.rejected,
+        stats_b.completed,
+    )
+
+
+def test_different_seed_changes_arrivals():
+    _, stats_a = full_cluster_run(seed=1)
+    _, stats_b = full_cluster_run(seed=2)
+    assert stats_a.latencies_ns != stats_b.latencies_ns
+
+
+# --- ranking on the cluster layer ----------------------------------------------------
+
+
+def test_ranking_cluster_integration():
+    fabric = CatapultFabric(
+        pods=2, topology=TorusTopology(width=2, height=8), seed=17
+    )
+    cluster = fabric.deploy_ranking_cluster(
+        rings=2, placement_policy="spread", model_scale=0.1
+    )
+    assert [d.slot.pod_id for d in cluster.scheduler.decisions] == [0, 1]
+
+    from repro.ranking.pipeline import RankingPipeline
+
+    # RankingPipeline is now a thin adapter over the same Deployment.
+    assert issubclass(RankingPipeline, Deployment)
+
+    from repro.workloads.traces import TraceGenerator
+
+    generator = TraceGenerator(seed=23)
+    pool = [generator.request() for _ in range(12)]
+    for request in pool:
+        cluster.scoring_engine.score(
+            request.document, cluster.library[request.document.model_id]
+        )
+    injector = OpenLoopInjector(
+        fabric.engine, cluster.balancer, PoissonArrivals(30_000.0), pool
+    )
+    stats = fabric.engine.run_until(injector.run(40))
+    assert stats.completed == 40
+    assert all(d.completed > 0 for d in cluster.deployments)

@@ -1,9 +1,17 @@
-"""Tests for workload generation: Zipf sampling and query properties."""
+"""Tests for workload generation: Zipf sampling, query properties, and
+the open-loop arrival processes."""
 
 import random
 
 import pytest
 
+from repro.sim import Engine, SEC
+from repro.workloads.openloop import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    OpenLoopInjector,
+    PoissonArrivals,
+)
 from repro.workloads.traces import TraceGenerator, ZipfSampler
 
 
@@ -57,3 +65,127 @@ def test_tuple_mix_has_all_three_sizes():
             for hit in stream.tuples:
                 sizes.add(hit.encoded_size)
     assert sizes == {2, 4, 6}
+
+
+def test_zipf_sample_hits_first_index_on_tiny_u():
+    sampler = ZipfSampler(100, random.Random(7))
+    sampler.rng = random.Random(7)
+    # bisect path must clamp into [0, vocabulary).
+    assert all(0 <= sampler.sample() < 100 for _ in range(2_000))
+
+
+def test_model_mix_must_be_non_empty():
+    with pytest.raises(ValueError):
+        TraceGenerator(seed=1, model_mix={})
+
+
+def test_model_mix_weights_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceGenerator(seed=1, model_mix={0: 0.5, 1: -0.1})
+    with pytest.raises(ValueError):
+        TraceGenerator(seed=1, model_mix={0: 0.0})
+
+
+# --- arrival processes ---------------------------------------------------------
+
+
+def test_poisson_mean_interarrival_matches_rate():
+    arrivals = PoissonArrivals(10_000.0)
+    rng = random.Random(5)
+    gaps = [arrivals.interarrival_ns(rng, 0.0) for _ in range(20_000)]
+    mean = sum(gaps) / len(gaps)
+    assert mean == pytest.approx(SEC / 10_000.0, rel=0.05)
+
+
+def test_poisson_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0)
+
+
+def test_bursty_rate_alternates_with_phase():
+    arrivals = BurstyArrivals(
+        base_rate_per_s=1_000.0, burst_rate_per_s=9_000.0, period_s=1.0, duty=0.25
+    )
+    assert arrivals.rate_at(0.1 * SEC) == 9_000.0
+    assert arrivals.rate_at(0.5 * SEC) == 1_000.0
+    assert arrivals.rate_at(1.1 * SEC) == 9_000.0  # wraps each period
+
+
+def test_bursty_validation():
+    with pytest.raises(ValueError):
+        BurstyArrivals(0.0, 100.0, 1.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(100.0, 200.0, 1.0, duty=1.5)
+
+
+def test_diurnal_rate_bounded_by_amplitude():
+    arrivals = DiurnalArrivals(1_000.0, amplitude=0.5, period_s=1.0)
+    rates = [arrivals.rate_at(t * 0.01 * SEC) for t in range(100)]
+    assert max(rates) <= 1_500.0 + 1e-6
+    assert min(rates) >= 500.0 - 1e-6
+    assert max(rates) > 1_400.0 and min(rates) < 600.0
+
+
+def test_diurnal_validation():
+    with pytest.raises(ValueError):
+        DiurnalArrivals(1_000.0, amplitude=1.5)
+
+
+# --- open-loop injector ---------------------------------------------------------
+
+
+class ImmediateSink:
+    """Accepts every request instantly (no simulated service time)."""
+
+    def __init__(self):
+        self.outstanding = 0
+        self.seen = []
+
+    def submit(self, request, timeout_ns):
+        self.seen.append(request)
+        if False:  # pragma: no cover - generator protocol
+            yield
+        return request
+
+
+class SaturatedSink(ImmediateSink):
+    def __init__(self):
+        super().__init__()
+        self.outstanding = 1_000
+
+
+def test_open_loop_offers_and_completes():
+    eng = Engine(seed=8)
+    sink = ImmediateSink()
+    injector = OpenLoopInjector(
+        eng, sink, PoissonArrivals(1_000_000.0), pool=["a", "b", "c"]
+    )
+    stats = eng.run_until(injector.run(30))
+    assert stats.offered == stats.admitted == stats.completed == 30
+    assert stats.rejected == 0
+    assert sink.seen[:3] == ["a", "b", "c"]  # pool cycles in order
+    assert stats.admission_fraction == 1.0
+
+
+def test_open_loop_admission_control_sheds():
+    eng = Engine(seed=8)
+    sink = SaturatedSink()
+    injector = OpenLoopInjector(
+        eng, sink, PoissonArrivals(1_000_000.0), pool=["a"], max_queue_depth=10
+    )
+    stats = eng.run_until(injector.run(25))
+    assert stats.offered == 25
+    assert stats.admitted == 0
+    assert stats.rejected == 25
+
+
+def test_open_loop_validates_inputs():
+    eng = Engine()
+    sink = ImmediateSink()
+    with pytest.raises(ValueError):
+        OpenLoopInjector(eng, sink, PoissonArrivals(1.0), pool=[])
+    with pytest.raises(ValueError):
+        OpenLoopInjector(eng, sink, PoissonArrivals(1.0), pool=["a"], max_queue_depth=0)
+    injector = OpenLoopInjector(eng, sink, PoissonArrivals(1.0), pool=["a"])
+    with pytest.raises(ValueError):
+        injector.run(0)
