@@ -1,13 +1,21 @@
-"""Cluster scaling: throughput and p99 vs deployed rings at fixed load.
+"""Cluster scaling: throughput and p99 vs declared replicas at fixed load.
 
 The production claim (§2.3, §6): the service scales by deploying more
 rings across more pods, with the front end spreading query load over
 them.  At a fixed open-loop Poisson offered load well above one ring's
 saturation point (~77 K docs/s), aggregate completed throughput must
-grow with the ring count — admission control sheds the excess at one
+grow with the replica count — admission control sheds the excess at one
 ring, and four rings across two pods absorb the full offered load —
 while per-ring p99 stays balanced under the least-outstanding policy.
+
+Runs on the declarative control plane: each configuration is one
+``ServiceSpec`` applied through the ``ClusterManager``; traffic drives
+the returned handle and the per-ring numbers come from
+``handle.status()``.  Set ``BENCH_SMOKE=1`` for the reduced CI
+configuration.
 """
+
+import os
 
 from repro.analysis import format_series, percentile
 from repro.core import CatapultFabric
@@ -16,9 +24,11 @@ from repro.sim.units import SEC, US
 from repro.workloads import OpenLoopInjector, PoissonArrivals
 from repro.workloads.traces import TraceGenerator
 
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
 RING_COUNTS = [1, 2, 4]
 OFFERED_PER_S = 150_000.0  # ~2x one ring's saturation throughput
-ARRIVALS = 3_000
+ARRIVALS = 1_200 if SMOKE else 3_000
 MAX_QUEUE_DEPTH = 256
 
 
@@ -32,7 +42,7 @@ def run_one(rings: int) -> dict:
         balancing_policy="least_outstanding",
         model_scale=0.1,
     )
-    balancer = cluster.balancer
+    handle = cluster.handle
     generator = TraceGenerator(seed=77)
     pool = [generator.request() for _ in range(48)]
     for request in pool:  # pre-compute functional scores: pure-timing run
@@ -41,7 +51,7 @@ def run_one(rings: int) -> dict:
         )
     injector = OpenLoopInjector(
         fabric.engine,
-        balancer,
+        handle,
         PoissonArrivals(OFFERED_PER_S),
         pool,
         max_queue_depth=MAX_QUEUE_DEPTH,
@@ -49,16 +59,18 @@ def run_one(rings: int) -> dict:
     started = fabric.engine.now
     stats = fabric.engine.run_until(injector.run(ARRIVALS))
     window_ns = fabric.engine.now - started
+    status = handle.status()
     return {
         "rings": rings,
-        "pods_used": len({d.slot.pod_id for d in cluster.scheduler.decisions}),
+        "ready": status.ready_replicas,
+        "pods_used": len({ring.slot.pod_id for ring in status.rings}),
         "throughput_per_s": stats.completed * SEC / window_ns,
         "rejected": stats.rejected,
         "agg_p99_us": stats.stats().p99 / US,
         "ring_p99_us": {
-            deployment.name: percentile(deployment.latencies_ns, 99) / US
-            for deployment in balancer.deployments
-            if deployment.latencies_ns
+            ring.name: ring.p99_us
+            for ring in status.rings
+            if ring.p99_us is not None
         },
     }
 
@@ -70,7 +82,7 @@ def run_experiment():
 def test_cluster_scaling(benchmark, record):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     table = format_series(
-        "#rings deployed",
+        "#rings declared",
         {
             "aggregate throughput (docs/s)": [
                 round(results[r]["throughput_per_s"]) for r in RING_COUNTS
@@ -86,12 +98,14 @@ def test_cluster_scaling(benchmark, record):
         RING_COUNTS,
         title=(
             "Cluster scaling — open-loop Poisson at 150 K docs/s offered,\n"
-            "least-outstanding balancing, rings spread across 2 pods\n"
+            "least-outstanding balancing, replicas spread across 2 pods\n"
             "(paper: service capacity scales with deployed rings, §6)"
         ),
     )
     record("cluster_scaling", table)
 
+    for r in RING_COUNTS:
+        assert results[r]["ready"] == r  # every declared replica servable
     one, four = results[1], results[4]
     # One ring saturates: admission control must shed load...
     assert one["rejected"] > 0

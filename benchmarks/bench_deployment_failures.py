@@ -3,10 +3,17 @@
 Paper: of 1,632 deployed servers, 7 cards (0.4 %) had hardware
 failures and 1 of 3,264 cable-assembly links (0.03 %) was defective;
 no further hardware failures over several months.
+
+Part two feeds those manufacturing results into the control plane the
+way operations would: every ring containing a failed card is cordoned
+before service placement, and a ``ServiceSpec`` applied through the
+``ClusterManager`` lands only on clean rings — the §2.3 "failures were
+detected at deployment time and the machines serviced" workflow.
 """
 
 from repro.analysis import format_table
-from repro.fabric import Datacenter
+from repro.cluster import ClusterManager, ServiceSpec, echo_service
+from repro.fabric import Datacenter, TorusTopology
 from repro.sim import Engine
 
 TRIALS = 40
@@ -42,3 +49,48 @@ def test_deployment_failure_statistics(benchmark, record):
     assert reports[0].total_links == 3_264
     assert 4.0 <= mean_cards <= 10.0  # ~7 expected
     assert 0.2 <= mean_links <= 2.5  # ~1 expected
+
+
+def test_manufacturing_failures_cordon_placement(record):
+    """Failed cards found at deployment time keep their rings out of
+    the placement pool until serviced; the spec still converges on the
+    remaining capacity."""
+    engine = Engine(seed=13)
+    # Small datacenter, exaggerated failure rate so several rings are hit.
+    dc = Datacenter(engine, num_pods=4, topology=TorusTopology(width=2, height=3))
+    report = dc.manufacturing_test(card_failure_rate=0.08)
+    assert report.failed_cards > 0
+    bad_slots = report.failed_card_slots
+
+    manager = ClusterManager(dc)
+    for slot in bad_slots:
+        manager.scheduler.cordon(slot)
+    capacity = manager.scheduler.capacity_report()
+    assert capacity.cordoned_rings == len(bad_slots)
+
+    replicas = min(3, capacity.free_rings)
+    handle = manager.apply(
+        ServiceSpec(
+            service=echo_service(name="burn-in", role_name="head"),
+            replicas=replicas,
+        )
+    )
+    status = handle.status()
+    assert status.ready_replicas == replicas
+    placed = {ring.slot for ring in status.rings}
+    assert not placed & set(bad_slots)  # no replica on a defective ring
+
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ("rings total", capacity.total_rings),
+            ("rings cordoned (failed cards)", capacity.cordoned_rings),
+            ("replicas declared", replicas),
+            ("replicas placed on clean rings", status.ready_replicas),
+        ],
+        title=(
+            "§2.3 + control plane — manufacturing failures cordon rings;\n"
+            "placement converges on the remaining clean capacity"
+        ),
+    )
+    record("deployment_failures_cordon", table)

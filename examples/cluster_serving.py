@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""Cluster serving: many rings, a front-end balancer, open-loop users.
+"""Cluster serving, declaratively: apply a spec, watch it converge,
+rescale it, drain it.
 
-Builds a two-pod datacenter, lets the cluster scheduler spread four
-ranking rings across the pods, and drives the front-end load balancer
-with open-loop traffic — first steady Poisson arrivals, then a bursty
-on/off pattern that admission control has to shed.  This is the
-paper's production shape (§2.3) in miniature: the service scales by
-adding rings, and the front door spreads "heavy traffic from millions
-of users" across them.
+Builds a two-pod datacenter and hands the control plane a ServiceSpec —
+"three ranking replicas, spread across pods, least-outstanding front
+end".  The ClusterManager places the rings, wires the health monitors,
+and returns a handle; open-loop users drive the handle directly.  A
+`scale(4)` re-declares the replica count mid-run and reconciliation
+converges onto it; `drain()` tears everything down.  This is the
+paper's production shape (§2.3) in miniature: operators declare, the
+management plane operates.
 
 Run:  python examples/cluster_serving.py
 """
@@ -19,30 +21,37 @@ from repro.workloads import BurstyArrivals, OpenLoopInjector, PoissonArrivals
 from repro.workloads.traces import TraceGenerator
 
 
+def print_status(handle) -> None:
+    status = handle.status()
+    print(
+        f"  {status.service}: {status.ready_replicas}/{status.desired_replicas} "
+        f"replicas ready, {status.capacity.occupied_rings}/"
+        f"{status.capacity.total_rings} rings occupied "
+        f"({status.capacity.utilization:.0%})"
+    )
+    for ring in status.rings:
+        print(
+            f"    {ring.name}: health {ring.health:.2f}, "
+            f"{ring.completed} completed"
+        )
+
+
 def main() -> None:
     print("Building a 2-pod datacenter (2x8 torus per pod = 2 rings each)...")
     fabric = CatapultFabric(
         pods=2, topology=TorusTopology(width=2, height=8), seed=11
     )
 
-    print("Scheduler placing 4 ranking rings, policy=spread...")
+    print("Declaring: 3 ranking replicas, spread placement, "
+          "least-outstanding front end...")
     cluster = fabric.deploy_ranking_cluster(
-        rings=4,
+        rings=3,
         placement_policy="spread",
         balancing_policy="least_outstanding",
         model_scale=0.1,
     )
-    balancer = cluster.balancer
-    for decision in cluster.scheduler.decisions:
-        print(
-            f"  {decision.service} -> pod{decision.slot.pod_id}/"
-            f"ring{decision.slot.ring_x} ({decision.spares} spare)"
-        )
-    report = cluster.scheduler.capacity_report()
-    print(
-        f"  capacity: {report.occupied_rings}/{report.total_rings} rings "
-        f"({report.utilization:.0%}), {report.total_spare_nodes} spare nodes"
-    )
+    handle = cluster.handle
+    print_status(handle)
 
     generator = TraceGenerator(seed=42)
     pool = [generator.request() for _ in range(48)]
@@ -54,7 +63,7 @@ def main() -> None:
     print("\nPhase 1: steady Poisson load, 60 K docs/s offered...")
     steady = OpenLoopInjector(
         fabric.engine,
-        balancer,
+        handle,
         PoissonArrivals(60_000),
         pool,
         max_queue_depth=256,
@@ -68,13 +77,15 @@ def main() -> None:
         f"p50 {stats.stats().p50 / US:.0f} us, p99 {stats.stats().p99 / US:.0f} us, "
         f"{stats.rejected} shed"
     )
-    for name, lat in balancer.per_ring_stats().items():
-        print(f"    {name}: {lat.count} reqs, p99 {lat.p99 / US:.0f} us")
+
+    print("\nScaling the declaration to 4 replicas...")
+    handle.scale(4)
+    print_status(handle)
 
     print("\nPhase 2: bursty on/off load, 40 K base / 600 K burst docs/s...")
     bursty = OpenLoopInjector(
         fabric.engine,
-        balancer,
+        handle,
         BurstyArrivals(
             base_rate_per_s=40_000,
             burst_rate_per_s=600_000,
@@ -93,6 +104,14 @@ def main() -> None:
     print(
         f"  completed p99 {stats.stats().p99 / US:.0f} us "
         f"(backpressure keeps the admitted tail bounded)"
+    )
+
+    print("\nDraining the service...")
+    freed = fabric.manager().drain(handle)
+    report = fabric.manager().scheduler.capacity_report()
+    print(
+        f"  {len(freed)} rings returned to the pool; "
+        f"{report.occupied_rings}/{report.total_rings} occupied"
     )
     print("Done.")
 

@@ -1,72 +1,101 @@
 #!/usr/bin/env python
-"""Failure handling: ring rotation onto the spare FPGA (§3.4–§3.5).
+"""Failure handling, closed-loop: the control plane keeps a declared
+service serving through hardware failures (§3.4–§3.5).
 
-Deploys the ranking pipeline, verifies it works, kills the FFE1 FPGA,
-lets the Health Monitor diagnose it and the Mapping Manager rotate the
-ring onto the spare, then shows the pipeline serving traffic again —
-and that the TX/RX-Halt protocol kept neighbours uncorrupted.
+Declares two ranking replicas behind a weighted-health front end, then
+injects failures of increasing severity while the ClusterManager's
+watchdog runs:
+
+1. an FPGA hardware fault on one ring — the Health Monitor's error
+   vector triggers a Mapping Manager ring rotation onto the spare, the
+   ring's health weight drops, and the front end shifts load;
+2. a cable-assembly failure that kills the same ring outright —
+   reconciliation releases it, cordons the slot for manual service,
+   and re-places the replica on a fresh ring.
+
+No code here touches HealthMonitor, MappingManager, or LoadBalancer:
+the spec declares, the watchdog closes the loop.
 
 Run:  python examples/failure_recovery.py
 """
 
 from repro.core import CatapultFabric
 from repro.fabric import TorusTopology
-from repro.services import FailureInjector, FailureKind
+from repro.services import FailureKind
 from repro.sim.units import SEC
 
 
-def inject_and_report(fabric, pipeline, pod, tag):
-    pool = pipeline.make_request_pool(3, seed=17)
-    done, stats = pipeline.spawn_injector(
-        pod.server_at((1, 4)), threads=1, pool=pool, requests_per_thread=3
-    )
-    fabric.engine.run_until(done)
-    print(f"  [{tag}] {stats.completed}/3 requests scored, "
-          f"{stats.timeouts} timeouts")
-    return stats
+def show(handle) -> None:
+    status = handle.status()
+    print(f"  {status.ready_replicas}/{status.desired_replicas} replicas ready")
+    for ring in status.rings:
+        print(f"    {ring.name}: health {ring.health:.2f} @ {ring.slot}")
 
 
 def main() -> None:
     fabric = CatapultFabric(
-        pods=1, topology=TorusTopology(width=2, height=8), seed=3
+        pods=2, topology=TorusTopology(width=2, height=8), seed=3
     )
-    pod = fabric.pod(0)
-    pipeline = fabric.deploy_ranking(ring=0, model_scale=0.1)
-    print("Deployed. Initial mapping:")
-    print(f"  {pipeline.assignment.role_to_node}")
+    print("Declaring 2 ranking replicas, weighted-health front end,")
+    print("2 s health watchdog...")
+    cluster = fabric.deploy_ranking_cluster(
+        rings=2,
+        balancing_policy="weighted_health",
+        model_scale=0.1,
+        health_period_ns=2 * SEC,
+    )
+    handle = cluster.handle
+    show(handle)
 
-    print("\nBaseline traffic:")
-    inject_and_report(fabric, pipeline, pod, "before failure")
+    victim_ring = handle.deployments[0]
+    victim_slot = fabric.manager().scheduler.slot_of(victim_ring)
+    injector = fabric.failure_injector()
 
-    victim = pipeline.assignment.node_of("ffe1")
-    print(f"\nInjecting an FPGA hardware fault at {victim} (hosts ffe1)...")
-    FailureInjector(pod).inject(FailureKind.FPGA_HARDWARE_FAULT, victim)
+    print("\n1. FPGA hardware fault at the ffe1 node of replica 0...")
+    victim = injector.inject_role(
+        victim_ring, FailureKind.FPGA_HARDWARE_FAULT, role_name="ffe1"
+    )
+    fabric.run(until_ns=fabric.engine.now + 6 * SEC)  # watchdog sweeps
+    print("  watchdog swept and the Mapping Manager relocated the role")
+    assert victim in victim_ring.assignment.excluded, "ring must rotate"
+    print(f"  {victim} mapped out; ring rotated onto its spare")
+    show(handle)
+    print("  (weighted-health now steers proportionally less load here)")
 
-    print("Health Monitor investigates; Mapping Manager rotates the ring:")
-    t0 = fabric.engine.now
-    report = fabric.check_health([victim])
-    recovery_s = (fabric.engine.now - t0) / SEC
-    diagnosis = report.diagnoses[0]
-    print(f"  diagnosis: fpga_failed={diagnosis.flags.fpga_failed}, "
-          f"needs_relocation={diagnosis.flags.needs_relocation}")
-    print(f"  recovery took {recovery_s:.1f} s (reconfiguration-dominated)")
-    print(f"  new mapping: {pipeline.assignment.role_to_node}")
-    assert victim in pipeline.assignment.excluded
+    print("\n2. Cable assembly failure kills the same ring outright...")
+    injector.inject_role(victim_ring, FailureKind.CABLE_ASSEMBLY_FAILURE)
+    fabric.run(until_ns=fabric.engine.now + 8 * SEC)
+    status = handle.status()
+    assert status.ready_replicas == 2, "reconciliation must restore replicas"
+    assert victim_slot in fabric.manager().scheduler.cordoned_slots
+    print(f"  {victim_slot} released and cordoned for manual service;")
+    print("  replacement replica placed on a fresh ring:")
+    show(handle)
 
-    print("\nTraffic after rotation:")
-    stats = inject_and_report(fabric, pipeline, pod, "after rotation")
-    assert stats.completed == 3
+    print("\n3. Traffic still completes on the reconciled service:")
+    from repro.workloads.traces import TraceGenerator
 
-    print("\nNeighbour corruption check (TX/RX-Halt protocol):")
-    corrupted = [
-        node
-        for node, server in pod.servers.items()
-        if server.shell.role is not None and server.shell.role.corrupted
-    ]
-    print(f"  corrupted roles: {corrupted or 'none'}")
-    assert not corrupted
-    print("Done: the pipeline survived a hardware failure with no "
-          "corruption and seconds of downtime.")
+    generator = TraceGenerator(seed=17)
+    pool = [generator.request() for _ in range(6)]
+    for request in pool:
+        cluster.scoring_engine.score(
+            request.document, cluster.library[request.document.model_id]
+        )
+    completed = []
+
+    def driver():
+        for request in pool:
+            response = yield from handle.submit(request)
+            completed.append(response)
+
+    fabric.engine.process(driver())
+    fabric.engine.run()
+    scored = [r for r in completed if r is not None]
+    print(f"  {len(scored)}/{len(pool)} requests scored after recovery")
+    assert len(scored) == len(pool)
+
+    print("\nDone: the declared service survived a component failure and")
+    print("a whole-ring failure with no operator in the loop.")
 
 
 if __name__ == "__main__":

@@ -1,21 +1,46 @@
 """Cluster-level service orchestration.
 
 The paper's production story is many rings across many pods serving one
-datacenter-scale service (§2.3).  This package is that layer: a
-:class:`ClusterScheduler` places :class:`ServiceDefinition`s onto free
-torus rings across pods (capacity and spare accounting included), each
-placement yielding a generic per-ring :class:`Deployment`; a front-end
-:class:`LoadBalancer` dispatches requests across the deployed rings
-under pluggable policies and aggregates service-wide throughput and
-latency.  Open-loop traffic sources that drive the balancer live in
-:mod:`repro.workloads.openloop`.
+datacenter-scale service (§2.3), kept alive by management software.
+This package is that layer, split into a declarative control plane and
+the mechanism underneath:
+
+Control plane
+    A frozen :class:`ServiceSpec` declares the desired state (service,
+    replica count, policies, watchdog cadence); ``ClusterManager
+    .apply(spec)`` converges the datacenter onto it and returns a
+    :class:`ServiceHandle` for dispatch, status, and rescaling.  The
+    manager wires per-pod Health Monitors to the shared Mapping
+    Managers and runs health-driven reconciliation: failed rings rotate
+    onto spares, exhausted rings are released (slots cordoned) and
+    re-placed on free capacity.  :class:`ClusterFailureInjector` targets
+    failures at datacenter scope for resilience experiments.
+
+Mechanism
+    A :class:`ClusterScheduler` places :class:`ServiceDefinition`s onto
+    free torus rings across pods (capacity, spare, and cordon
+    accounting), each placement yielding a generic per-ring
+    :class:`Deployment`; a front-end :class:`LoadBalancer` dispatches
+    requests across the deployed rings under pluggable policies.
+    Open-loop traffic sources that drive the front end live in
+    :mod:`repro.workloads.openloop`.
 """
 
 from repro.cluster.deployment import Deployment, InjectorStats, RequestAdapter
+from repro.cluster.echo import EchoRole, echo_service
+from repro.cluster.failures import ClusterFailureInjector
 from repro.cluster.load_balancer import (
     BALANCING_POLICIES,
     LoadBalancer,
     NoHealthyDeployment,
+)
+from repro.cluster.manager import (
+    ClusterManager,
+    ReconcileAction,
+    ReconcileReport,
+    RingStatus,
+    ServiceHandle,
+    ServiceStatus,
 )
 from repro.cluster.scheduler import (
     CapacityReport,
@@ -23,20 +48,33 @@ from repro.cluster.scheduler import (
     InsufficientClusterCapacity,
     PLACEMENT_POLICIES,
     PlacementDecision,
+    PlacementFailed,
 )
+from repro.cluster.spec import ServiceSpec
 from repro.fabric.datacenter import RingSlot
 
 __all__ = [
     "BALANCING_POLICIES",
     "CapacityReport",
+    "ClusterFailureInjector",
+    "ClusterManager",
     "ClusterScheduler",
     "Deployment",
+    "EchoRole",
+    "echo_service",
     "InjectorStats",
     "InsufficientClusterCapacity",
     "LoadBalancer",
     "NoHealthyDeployment",
     "PLACEMENT_POLICIES",
     "PlacementDecision",
+    "PlacementFailed",
+    "ReconcileAction",
+    "ReconcileReport",
     "RequestAdapter",
     "RingSlot",
+    "RingStatus",
+    "ServiceHandle",
+    "ServiceSpec",
+    "ServiceStatus",
 ]

@@ -31,7 +31,7 @@ from repro.services.mapping_manager import (
     RingAssignment,
     ServiceDefinition,
 )
-from repro.sim import AllOf, Engine, Event, Store
+from repro.sim import AllOf, AnyOf, Engine, Event, Store
 from repro.sim.units import SEC
 
 
@@ -90,6 +90,7 @@ class Deployment:
         self.mapping_manager = mapping_manager or MappingManager(engine, pod)
         self.slots_per_server = slots_per_server
         self.assignment: RingAssignment | None = None
+        self.released = False  # set when the scheduler reclaims the ring
         self.meter = ThroughputMeter(engine)
         self.latencies_ns: list[float] = []
         self.completed = 0
@@ -124,9 +125,10 @@ class Deployment:
 
         Excluded (mapped-out) nodes lower the weight, so the
         weighted-by-health balancing policy steers load away from rings
-        running degraded after failures.
+        running degraded after failures.  A released ring or one whose
+        failures exhausted the spares weighs nothing.
         """
-        if self.assignment is None:
+        if self.assignment is None or self.released or not self.assignment.servable:
             return 0.0
         healthy = [
             node
@@ -181,16 +183,35 @@ class Deployment:
         response.  Returns the response payload, or ``None`` on a
         fabric timeout.  Latency is recorded from ``arrived_ns`` (the
         open-loop arrival instant) so queueing delay is included.
+
+        The lease wait itself is bounded by ``timeout_ns`` too: on a
+        ring whose leases were all quarantined by earlier timeouts (a
+        dead ring), later submissions resolve as timeouts instead of
+        blocking forever — the §3.2 "host will time out and divert the
+        request" path applied at admission.
         """
         if self.assignment is None:
             raise RuntimeError(f"{self.name}: submit() before deploy()")
+        if self.released:
+            raise RuntimeError(f"{self.name}: submit() after release")
         server = server or self._next_injection_server()
         arrived = arrived_ns if arrived_ns is not None else self.engine.now
         self.outstanding += 1
         store = self._leases(server)
         quarantined = False
         try:
-            lease = yield store.get()
+            get = store.get()
+            if not get.triggered:
+                # Contended: bound the wait, abandoning the claim on
+                # timeout so a late lease is not handed to a departed
+                # waiter (and thereby lost).
+                deadline = self.engine.timeout(timeout_ns)
+                yield AnyOf(self.engine, [get, deadline])
+                if not get.triggered:
+                    get.cancelled = True
+                    self.timeouts += 1
+                    return None
+            lease = get.value
             try:
                 if include_prep:
                     yield from self.adapter.prep(server)

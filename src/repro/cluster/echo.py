@@ -1,0 +1,67 @@
+"""A minimal reference service for control-plane experiments.
+
+Tests, benchmarks, and examples that exercise the *management* plane —
+placement, balancing, health sweeps, reconciliation — don't need the
+seven-stage ranking pipeline; they need the smallest service that still
+rides the fabric: one active role that answers a request after a fixed
+service time, plus a passthrough spare so ring rotation has somewhere
+to go.  This module is that service, shared so the scaffolding isn't
+re-implemented (and allowed to drift) per experiment.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.bitstream import Bitstream, ResourceBudget
+from repro.services.mapping_manager import RoleSpec, ServiceDefinition
+from repro.shell.messages import PacketKind
+from repro.shell.role import PassthroughRole, Role
+
+
+class EchoRole(Role):
+    """Answers each request with a fixed payload after ``delay_ns``."""
+
+    name = "echo"
+
+    def __init__(self, payload: object = "scored", delay_ns: float = 2_000.0):
+        super().__init__()
+        self.payload = payload
+        self.delay_ns = delay_ns
+
+    def handle(self, packet):
+        yield self.shell.engine.timeout(self.delay_ns)
+        if packet.kind is PacketKind.REQUEST:
+            yield self.send(
+                packet.response_to(size_bytes=64, payload=self.payload)
+            )
+
+
+def echo_service(
+    name: str = "echo-service",
+    role_name: str = "echo",
+    payload: object = "scored",
+    delay_ns: float = 2_000.0,
+) -> ServiceDefinition:
+    """One active echo role plus a passthrough spare."""
+
+    def bitstream(role: str) -> Bitstream:
+        return Bitstream(
+            role_name=role,
+            role_budget=ResourceBudget(alms=1000),
+            clock_mhz=175.0,
+        )
+
+    return ServiceDefinition(
+        name=name,
+        roles=(
+            RoleSpec(
+                name=role_name,
+                bitstream=bitstream(role_name),
+                factory=lambda _assignment, _n: EchoRole(payload, delay_ns),
+            ),
+        ),
+        spare=RoleSpec(
+            name="spare",
+            bitstream=bitstream("spare"),
+            factory=lambda _assignment, _n: PassthroughRole(),
+        ),
+    )

@@ -1,0 +1,467 @@
+"""The cluster control plane: desired-state service management.
+
+The paper's service keeps running because management software closes a
+loop (§2.3, §3.5): the Health Monitor diagnoses failures, the Mapping
+Manager rotates rings onto spares, and operators keep enough ring
+instances deployed.  :class:`ClusterManager` is that loop made
+first-class.  Callers declare a :class:`~repro.cluster.spec.ServiceSpec`
+and ``apply()`` it; the manager owns every mechanism underneath —
+placement via the :class:`~repro.cluster.scheduler.ClusterScheduler`,
+the front-end :class:`~repro.cluster.load_balancer.LoadBalancer`, and
+per-pod :class:`~repro.services.health_monitor.HealthMonitor`s wired to
+the shared per-pod :class:`~repro.services.mapping_manager
+.MappingManager`s, so a failure report rotates the ring, the rotation
+moves the ring's health weight, and the ``weighted_health`` policy sees
+it — with no caller touching any of those objects directly.
+
+``reconcile()`` converges observed state onto the spec: rings whose
+failures exhausted their spares are released (their slots cordoned for
+manual service) and replacement replicas are placed on free slots; the
+per-service health watchdog automates the sweep-then-reconcile cadence
+in simulated time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis import percentile
+from repro.cluster.deployment import Deployment
+from repro.cluster.load_balancer import LoadBalancer
+from repro.cluster.scheduler import (
+    CapacityReport,
+    ClusterScheduler,
+    InsufficientClusterCapacity,
+    PlacementFailed,
+)
+from repro.fabric.datacenter import Datacenter, RingSlot
+from repro.services.health_monitor import HealthMonitor
+from repro.sim import Engine
+from repro.sim.units import US
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.spec import ServiceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class RingStatus:
+    """Observed state of one replica ring."""
+
+    name: str
+    slot: RingSlot
+    health: float
+    outstanding: int
+    completed: int
+    timeouts: int
+    throughput_per_s: float
+    p99_us: float | None
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceStatus:
+    """Observed vs desired state of one service."""
+
+    service: str
+    desired_replicas: int
+    ready_replicas: int
+    degraded_replicas: int
+    capacity: CapacityReport
+    rings: tuple
+
+    @property
+    def converged(self) -> bool:
+        return self.ready_replicas >= self.desired_replicas
+
+
+@dataclasses.dataclass(frozen=True)
+class ReconcileAction:
+    """One convergence step: what the manager did and where."""
+
+    service: str
+    kind: str  # release_unservable | replace | scale_down | cordon | shortfall
+    slot: RingSlot | None = None
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class ReconcileReport:
+    """Outcome of one reconciliation pass."""
+
+    at_ns: float
+    actions: tuple
+
+    @property
+    def converged(self) -> bool:
+        return not any(action.kind == "shortfall" for action in self.actions)
+
+    def __bool__(self) -> bool:
+        return bool(self.actions)
+
+
+class ServiceHandle:
+    """A declared service under management.
+
+    The handle is the only object callers need: it dispatches requests
+    (it satisfies the open-loop injector's sink protocol), reports
+    status, and rescales — everything else (balancer, monitors, mapping
+    managers) stays inside the control plane.
+    """
+
+    def __init__(
+        self, manager: "ClusterManager", spec: "ServiceSpec", balancer: LoadBalancer
+    ):
+        self.manager = manager
+        self.spec = spec
+        self.balancer = balancer
+        self.retired: list[Deployment] = []  # released replicas (post-mortem)
+        self.active = True
+        self._watchdog = None
+        self._last_report: ReconcileReport | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def deployments(self) -> list[Deployment]:
+        return self.balancer.deployments
+
+    # -- dispatch (open-loop sink protocol) ------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return self.balancer.outstanding
+
+    def submit(
+        self, request: object, timeout_ns: float | None = None
+    ) -> typing.Generator:
+        """Dispatch one request via the front end (a generator)."""
+        if not self.active:
+            raise RuntimeError(f"service {self.name!r} has been drained")
+        timeout = timeout_ns if timeout_ns is not None else self.spec.request_timeout_ns
+        return (yield from self.balancer.submit(request, timeout_ns=timeout))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def scale(self, replicas: int) -> ReconcileReport:
+        """Declare a new replica count and converge onto it."""
+        if not self.active:
+            raise RuntimeError(f"service {self.name!r} has been drained")
+        self.manager.apply(self.spec.with_replicas(replicas))
+        return self.last_reconcile
+
+    def reconcile(self) -> ReconcileReport:
+        if not self.active:
+            raise RuntimeError(f"service {self.name!r} has been drained")
+        return self.manager.reconcile(self)
+
+    def status(self) -> ServiceStatus:
+        return self.manager.status_of(self)
+
+    @property
+    def last_reconcile(self) -> ReconcileReport:
+        """The most recent reconciliation pass covering THIS service."""
+        if self._last_report is not None:
+            return self._last_report
+        return ReconcileReport(at_ns=self.manager.engine.now, actions=())
+
+    # -- health watchdog -------------------------------------------------------
+
+    def start_watchdog(self, period_ns: float | None = None) -> None:
+        self.manager.start_watchdog(self, period_ns)
+
+    def stop_watchdog(self) -> None:
+        if self._watchdog is not None and self._watchdog.is_alive:
+            self._watchdog.kill()
+        self._watchdog = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceHandle {self.name} {len(self.deployments)}/"
+            f"{self.spec.replicas} replicas>"
+        )
+
+
+class ClusterManager:
+    """Datacenter-wide, declarative service management."""
+
+    def __init__(self, datacenter: Datacenter, default_placement: str = "spread"):
+        self.datacenter = datacenter
+        self.engine: Engine = datacenter.engine
+        self.scheduler = ClusterScheduler(datacenter, policy=default_placement)
+        self.handles: dict[str, ServiceHandle] = {}
+        self.reconcile_reports: list[ReconcileReport] = []
+        self._health_monitors: dict[int, HealthMonitor] = {}
+
+    # -- wiring ----------------------------------------------------------------
+
+    def health_monitor(self, pod_id: int) -> HealthMonitor:
+        """The pod's Health Monitor, attached to its Mapping Manager.
+
+        The attachment is the failure loop's first half: a report with
+        failed machines invokes the Mapping Manager, which rotates the
+        affected rings (moving their health weights).
+        """
+        if pod_id not in self._health_monitors:
+            self._health_monitors[pod_id] = HealthMonitor(
+                self.engine,
+                self.datacenter.pod(pod_id),
+                mapping_manager=self.scheduler.mapping_manager(pod_id),
+            )
+        return self._health_monitors[pod_id]
+
+    # -- declarative lifecycle -------------------------------------------------
+
+    def apply(self, spec: "ServiceSpec") -> ServiceHandle:
+        """Converge the cluster onto ``spec``; returns the handle.
+
+        First apply places ``spec.replicas`` rings and builds the front
+        end.  Re-applying a spec for the same service updates the
+        declaration in place — replica count and balancing policy take
+        effect immediately via reconciliation; the placement policy
+        governs future placements.
+        """
+        existing = self.handles.get(spec.name)
+        if existing is not None and existing.active:
+            if existing.spec.service is not spec.service:
+                raise ValueError(
+                    f"service {spec.name!r} is already applied with a "
+                    "different ServiceDefinition; drain the old handle "
+                    "first, or re-declare from the existing handle's spec "
+                    "(e.g. spec.with_replicas(n))"
+                )
+            existing.spec = spec
+            existing.balancer.policy = spec.balancing
+            self.reconcile(existing)
+            return existing
+        deployments: list[Deployment] = []
+        actions: list[ReconcileAction] = []
+        while len(deployments) < spec.replicas:
+            placed, place_actions = self._place_one(spec, kind="place")
+            actions.extend(place_actions)
+            if placed is None:
+                break
+            deployments.append(placed)
+        if not deployments:
+            raise InsufficientClusterCapacity(
+                f"no servable ring for service {spec.name!r}"
+            )
+        balancer = LoadBalancer(
+            self.engine, deployments, policy=spec.balancing, name=spec.name
+        )
+        handle = ServiceHandle(self, spec, balancer)
+        self.handles[spec.name] = handle
+        report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
+        self.reconcile_reports.append(report)
+        handle._last_report = report
+        self.start_watchdog(handle)
+        return handle
+
+    def drain(self, handle: ServiceHandle) -> list[RingSlot]:
+        """Tear a service down: release every ring, stop its watchdog."""
+        handle.stop_watchdog()
+        freed = []
+        for deployment in list(handle.balancer.deployments):
+            freed.append(self.scheduler.release(deployment))
+            handle.balancer.deployments.remove(deployment)
+            handle.retired.append(deployment)
+        handle.active = False
+        self.handles.pop(handle.name, None)
+        return freed
+
+    # -- reconciliation --------------------------------------------------------
+
+    def reconcile(self, handle: ServiceHandle | None = None) -> ReconcileReport:
+        """One convergence pass: shed dead rings, restore replica count.
+
+        A ring is dead when its health weight is zero — failures
+        exhausted its spares (the Mapping Manager marked the assignment
+        unservable).  Dead rings are released and their slots cordoned
+        (the hardware needs manual service); replacements are placed on
+        free slots under the spec's placement policy.  When the
+        datacenter runs out of free rings the shortfall is recorded and
+        the service keeps running degraded.
+        """
+        handles = [handle] if handle is not None else list(self.handles.values())
+        actions: list[ReconcileAction] = []
+        for one in handles:
+            if one.active:
+                actions.extend(self._reconcile_one(one))
+        report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
+        self.reconcile_reports.append(report)
+        for one in handles:
+            one._last_report = report
+        return report
+
+    def _reconcile_one(self, handle: ServiceHandle) -> list[ReconcileAction]:
+        actions: list[ReconcileAction] = []
+        spec = handle.spec
+        balancer = handle.balancer
+        # 1. Shed rings that fell below servability.
+        for deployment in list(balancer.deployments):
+            if deployment.health_weight() > 0.0:
+                continue
+            slot = self.scheduler.release(deployment)
+            self.scheduler.cordon(slot)
+            balancer.deployments.remove(deployment)
+            handle.retired.append(deployment)
+            actions.append(
+                ReconcileAction(spec.name, "release_unservable", slot)
+            )
+        # 2. Scale down: release the least healthy replicas first.
+        while len(balancer.deployments) > spec.replicas:
+            victim = min(balancer.deployments, key=lambda d: d.health_weight())
+            slot = self.scheduler.release(victim)
+            balancer.deployments.remove(victim)
+            handle.retired.append(victim)
+            actions.append(ReconcileAction(spec.name, "scale_down", slot))
+        # 3. Scale up / replace until the declared count is restored.
+        while len(balancer.deployments) < spec.replicas:
+            placed, place_actions = self._place_one(spec, kind="replace")
+            actions.extend(place_actions)
+            if placed is None:
+                break
+            balancer.deployments.append(placed)
+        return actions
+
+    def _place_one(
+        self, spec: "ServiceSpec", kind: str
+    ) -> tuple[Deployment | None, list[ReconcileAction]]:
+        """Place one replica, cordoning slots that fail at configure
+        time and retrying until a ring sticks or capacity runs out."""
+        actions: list[ReconcileAction] = []
+        while True:
+            try:
+                (placed,) = self.scheduler.deploy(
+                    spec.service,
+                    rings=1,
+                    adapter=spec.adapter,
+                    slots_per_server=spec.slots_per_server,
+                    policy=spec.placement,
+                )
+            except PlacementFailed as failure:
+                # The chosen slot turned out to have bad hardware the
+                # scheduler had no record of; hold it out and retry.
+                self.scheduler.cordon(failure.slot)
+                actions.append(
+                    ReconcileAction(
+                        spec.name, "cordon", failure.slot, detail=str(failure.cause)
+                    )
+                )
+                continue
+            except InsufficientClusterCapacity as exc:
+                actions.append(
+                    ReconcileAction(spec.name, "shortfall", None, detail=str(exc))
+                )
+                return None, actions
+            self.health_monitor(placed.pod.pod_id)
+            actions.append(
+                ReconcileAction(spec.name, kind, self.scheduler.slot_of(placed))
+            )
+            return placed, actions
+
+    # -- health watchdog -------------------------------------------------------
+
+    def start_watchdog(
+        self, handle: ServiceHandle, period_ns: float | None = None
+    ) -> None:
+        """Periodic sweep-then-reconcile for one service.
+
+        In production the Health Monitor "is invoked when there is a
+        suspected failure" by a machine higher in the hierarchy; the
+        watchdog automates that trigger for the service's rings — every
+        period it walks each replica's live nodes through the owning
+        pod's Health Monitor (error vectors trigger Mapping Manager
+        rotations) and reconciles afterwards so exhausted rings are
+        replaced without an operator in the loop.
+        """
+        if handle._watchdog is not None and handle._watchdog.is_alive:
+            raise RuntimeError(f"watchdog for {handle.name!r} already running")
+
+        def body() -> typing.Generator:
+            while handle.active:
+                # Read the period from the live spec each cycle so a
+                # re-applied declaration changes the cadence in place.
+                yield self.engine.timeout(
+                    period_ns
+                    if period_ns is not None
+                    else handle.spec.health_period_ns
+                )
+                if not handle.active:
+                    return
+                yield from self._sweep_body(handle)
+                self.reconcile(handle)
+
+        handle._watchdog = self.engine.process(
+            body(), name=f"cluster.watchdog:{handle.name}", daemon=True
+        )
+
+    def sweep(self, handle: ServiceHandle):
+        """One immediate health sweep + reconcile; returns a completion
+        event (usable with ``engine.run_until``)."""
+        done = self.engine.event(name=f"sweep:{handle.name}")
+
+        def body() -> typing.Generator:
+            yield from self._sweep_body(handle)
+            report = self.reconcile(handle)
+            done.succeed(report)
+
+        self.engine.process(body(), name=f"cluster.sweep:{handle.name}")
+        return done
+
+    def _sweep_body(self, handle: ServiceHandle) -> typing.Generator:
+        by_pod: dict[int, list] = {}
+        for deployment in list(handle.balancer.deployments):
+            assignment = deployment.assignment
+            if assignment is None:
+                continue
+            live = [
+                node
+                for node in assignment.ring_nodes
+                if node not in assignment.excluded
+            ]
+            by_pod.setdefault(deployment.pod.pod_id, []).extend(live)
+        for pod_id in sorted(by_pod):
+            report = yield self.health_monitor(pod_id).investigate(by_pod[pod_id])
+            del report  # failures already routed to the mapping manager
+
+    # -- observation -----------------------------------------------------------
+
+    def status_of(self, handle: ServiceHandle) -> ServiceStatus:
+        rings = []
+        for deployment in handle.balancer.deployments:
+            weight = deployment.health_weight()
+            rings.append(
+                RingStatus(
+                    name=deployment.name,
+                    slot=self.scheduler.slot_of(deployment),
+                    health=weight,
+                    outstanding=deployment.outstanding,
+                    completed=deployment.completed,
+                    timeouts=deployment.timeouts,
+                    throughput_per_s=deployment.meter.per_second,
+                    p99_us=(
+                        percentile(deployment.latencies_ns, 99) / US
+                        if deployment.latencies_ns
+                        else None
+                    ),
+                )
+            )
+        return ServiceStatus(
+            service=handle.name,
+            desired_replicas=handle.spec.replicas,
+            ready_replicas=sum(1 for ring in rings if ring.health > 0.0),
+            degraded_replicas=sum(1 for ring in rings if 0.0 < ring.health < 1.0),
+            capacity=self.scheduler.capacity_report(),
+            rings=tuple(rings),
+        )
+
+    def status(self) -> dict[str, ServiceStatus]:
+        return {name: self.status_of(h) for name, h in self.handles.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterManager services={sorted(self.handles)} "
+            f"{self.scheduler.capacity_report().occupied_rings} rings occupied>"
+        )

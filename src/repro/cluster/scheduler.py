@@ -26,13 +26,31 @@ import dataclasses
 
 from repro.cluster.deployment import Deployment, RequestAdapter
 from repro.fabric.datacenter import Datacenter, RingSlot
-from repro.services.mapping_manager import MappingManager, ServiceDefinition
+from repro.hardware.fpga import FpgaState, ReconfigError
+from repro.services.mapping_manager import (
+    InsufficientRingCapacity,
+    MappingManager,
+    ServiceDefinition,
+)
 
 PLACEMENT_POLICIES = ("spread", "pack")
 
 
 class InsufficientClusterCapacity(Exception):
     """More rings requested than the datacenter has free."""
+
+
+class PlacementFailed(Exception):
+    """A chosen slot could not be configured (bad hardware found late).
+
+    Carries the slot so the control plane can cordon it and retry on a
+    different ring.
+    """
+
+    def __init__(self, slot: RingSlot, cause: Exception):
+        super().__init__(f"placement on {slot} failed: {cause}")
+        self.slot = slot
+        self.cause = cause
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,10 +69,11 @@ class CapacityReport:
     total_rings: int
     occupied_rings: int
     total_spare_nodes: int
+    cordoned_rings: int = 0  # held out pending manual service
 
     @property
     def free_rings(self) -> int:
-        return self.total_rings - self.occupied_rings
+        return self.total_rings - self.occupied_rings - self.cordoned_rings
 
     @property
     def utilization(self) -> float:
@@ -75,6 +94,7 @@ class ClusterScheduler:
         self.policy = policy
         self.decisions: list[PlacementDecision] = []
         self._occupied: dict[RingSlot, Deployment] = {}
+        self._cordoned: set[RingSlot] = set()
         self._mapping_managers: dict[int, MappingManager] = {}
         self._next_pod_id = 0  # spread policy's round-robin cursor
 
@@ -91,8 +111,31 @@ class ClusterScheduler:
     def free_slots(self) -> list[RingSlot]:
         return [
             slot for slot in self.datacenter.ring_slots()
-            if slot not in self._occupied
+            if slot not in self._occupied and slot not in self._cordoned
         ]
+
+    def cordon(self, slot: RingSlot) -> None:
+        """Hold ``slot`` out of placement (bad hardware awaiting service)."""
+        if slot not in self.datacenter.ring_slots():
+            raise ValueError(f"{slot} is not a ring of this datacenter")
+        if slot in self._occupied:
+            raise ValueError(f"{slot} is occupied; release it first")
+        self._cordoned.add(slot)
+
+    def uncordon(self, slot: RingSlot) -> None:
+        """Return a cordoned slot to the placement pool (post-repair)."""
+        self._cordoned.discard(slot)
+
+    @property
+    def cordoned_slots(self) -> list[RingSlot]:
+        return sorted(self._cordoned)
+
+    def slot_of(self, deployment: Deployment) -> RingSlot:
+        """The ring slot ``deployment`` occupies."""
+        for slot, occupant in self._occupied.items():
+            if occupant is deployment:
+                return slot
+        raise KeyError(f"{deployment.name} is not placed by this scheduler")
 
     def deployments(self) -> list[Deployment]:
         return [self._occupied[slot] for slot in sorted(self._occupied)]
@@ -104,18 +147,25 @@ class ClusterScheduler:
             total_spare_nodes=sum(
                 deployment.spare_count for deployment in self._occupied.values()
             ),
+            cordoned_rings=len(self._cordoned),
         )
 
     # -- placement -------------------------------------------------------------
 
-    def _choose(self, count: int) -> list[RingSlot]:
+    def _choose(self, count: int, policy: str | None = None) -> list[RingSlot]:
+        policy = policy or self.policy
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r}; "
+                f"choose from {PLACEMENT_POLICIES}"
+            )
         free = self.free_slots()
         if len(free) < count:
             raise InsufficientClusterCapacity(
                 f"need {count} rings, only {len(free)} of "
                 f"{self.datacenter.total_rings} free"
             )
-        if self.policy == "pack":
+        if policy == "pack":
             return free[:count]
         # spread: take one slot from each pod in turn until satisfied,
         # starting from the round-robin cursor so successive deploy()
@@ -144,17 +194,20 @@ class ClusterScheduler:
         rings: int = 1,
         adapter: RequestAdapter | None = None,
         slots_per_server: int = 48,
+        policy: str | None = None,
     ) -> list[Deployment]:
         """Place ``service`` on ``rings`` free rings and configure them.
 
         Each chosen ring gets its own :class:`Deployment` (sharing the
         pod's mapping manager so failure handling sees every assignment)
         and is fully configured — FPGA images written, RX-Halt released
-        — before this returns.
+        — before this returns.  ``policy`` overrides the scheduler-wide
+        placement policy for this call (the control plane places each
+        service under its spec's policy).
         """
         if rings < 1:
             raise ValueError(f"need at least one ring, got {rings}")
-        chosen = self._choose(rings)
+        chosen = self._choose(rings, policy)
         deployments = []
         for slot in chosen:
             deployment = Deployment(
@@ -166,7 +219,10 @@ class ClusterScheduler:
                 mapping_manager=self.mapping_manager(slot.pod_id),
                 slots_per_server=slots_per_server,
             )
-            deployment.deploy()
+            try:
+                deployment.deploy()
+            except (InsufficientRingCapacity, ReconfigError) as exc:
+                raise PlacementFailed(slot, exc) from exc
             self._occupied[slot] = deployment
             self.decisions.append(
                 PlacementDecision(
@@ -179,17 +235,31 @@ class ClusterScheduler:
     def release(self, deployment: Deployment) -> RingSlot:
         """Return a deployment's ring to the free pool (scale-down).
 
-        Also deregisters the ring's assignment from the pod's mapping
-        manager so later failure reports no longer act on it.
+        Deregisters the ring's assignment from the pod's mapping manager
+        so later failure reports no longer act on it, detaches the
+        service's roles from the surviving nodes (each reverts to the
+        service's passthrough spare, keeping the torus routable), and
+        marks the deployment released so stale handles can no longer
+        dispatch.  The freed slot is immediately redeployable — the next
+        deploy reconfigures the ring with the new service's images, with
+        any permanently failed hardware pre-mapped-out.
         """
-        for slot, occupant in self._occupied.items():
-            if occupant is deployment:
-                del self._occupied[slot]
-                manager = deployment.mapping_manager
-                if deployment.assignment in manager.assignments:
-                    manager.assignments.remove(deployment.assignment)
-                return slot
-        raise KeyError(f"{deployment.name} is not placed by this scheduler")
+        slot = self.slot_of(deployment)
+        del self._occupied[slot]
+        manager = deployment.mapping_manager
+        if deployment.assignment in manager.assignments:
+            manager.assignments.remove(deployment.assignment)
+        assignment = deployment.assignment
+        if assignment is not None:
+            spare = deployment.service.spare
+            for node in assignment.ring_nodes:
+                if node in assignment.excluded:
+                    continue
+                server = deployment.pod.server_at(node)
+                if server.fpga.state is FpgaState.CONFIGURED:
+                    server.shell.attach_role(spare.factory(assignment, spare.name))
+        deployment.released = True
+        return slot
 
     def __repr__(self) -> str:
         report = self.capacity_report()

@@ -1,0 +1,91 @@
+"""Declarative service specification — the control plane's input.
+
+The paper's production deployment is *operated*: the Mapping Manager
+and Health Monitor keep 1,632 machines serving through failures (§2.3,
+§3.5).  Operators do not hand-wire schedulers, balancers and monitors;
+they declare what the service should look like and management software
+converges the fleet onto it.  :class:`ServiceSpec` is that declaration:
+a frozen description of the desired state — which service, how many
+ring replicas, under which placement and balancing policies, with what
+dispatch limits and health-watchdog cadence.  The
+:class:`~repro.cluster.manager.ClusterManager` consumes it via
+``apply(spec)`` and owns every mechanism underneath.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.deployment import RequestAdapter
+from repro.cluster.load_balancer import BALANCING_POLICIES
+from repro.cluster.scheduler import PLACEMENT_POLICIES
+from repro.services.mapping_manager import ServiceDefinition
+from repro.sim.units import SEC
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceSpec:
+    """Desired state of one datacenter service.
+
+    ``replicas``
+        Ring instances the control plane keeps servable.  Reconciliation
+        re-places replicas lost to failures and converges scale-up /
+        scale-down.
+
+    ``placement`` / ``balancing``
+        Policies for the scheduler (``spread`` / ``pack``) and the
+        front-end balancer (``round_robin`` / ``least_outstanding`` /
+        ``weighted_health``).
+
+    ``adapter``
+        Translates generic dispatch into service-specific wire traffic;
+        shared across every replica (adapters are stateless).
+
+    ``health_period_ns``
+        Cadence of the per-service health watchdog: how often the
+        manager sweeps the replicas' ring nodes through the pod Health
+        Monitors and reconciles afterwards.
+    """
+
+    service: ServiceDefinition
+    replicas: int = 1
+    placement: str = "spread"
+    balancing: str = "least_outstanding"
+    adapter: RequestAdapter | None = None
+    slots_per_server: int = 48
+    request_timeout_ns: float = 5 * SEC
+    health_period_ns: float = 10 * SEC
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"need at least one replica, got {self.replicas}")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"choose from {PLACEMENT_POLICIES}"
+            )
+        if self.balancing not in BALANCING_POLICIES:
+            raise ValueError(
+                f"unknown balancing policy {self.balancing!r}; "
+                f"choose from {BALANCING_POLICIES}"
+            )
+        if self.slots_per_server < 1:
+            raise ValueError(
+                f"slots_per_server must be positive, got {self.slots_per_server}"
+            )
+        if self.request_timeout_ns <= 0:
+            raise ValueError(
+                f"request timeout must be positive, got {self.request_timeout_ns}"
+            )
+        if self.health_period_ns <= 0:
+            raise ValueError(
+                f"health period must be positive, got {self.health_period_ns}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.service.name
+
+    def with_replicas(self, replicas: int) -> "ServiceSpec":
+        """The same declaration at a different scale."""
+        return dataclasses.replace(self, replicas=replicas)

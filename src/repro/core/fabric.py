@@ -5,8 +5,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.cluster.failures import ClusterFailureInjector
 from repro.cluster.load_balancer import LoadBalancer
+from repro.cluster.manager import ClusterManager, ServiceHandle
 from repro.cluster.scheduler import ClusterScheduler
+from repro.cluster.spec import ServiceSpec
 from repro.fabric.datacenter import Datacenter
 from repro.fabric.pod import Pod
 from repro.fabric.torus import NodeId, TorusTopology
@@ -21,12 +24,19 @@ from repro.services.health_monitor import HealthMonitor, HealthReport
 from repro.services.mapping_manager import MappingManager
 from repro.shell.shell import ShellConfig
 from repro.sim import Engine
+from repro.sim.units import SEC
 
 
 @dataclasses.dataclass
 class RankingCluster:
-    """A ranking service deployed across rings, behind a front end."""
+    """A ranking service under management, behind a front end.
 
+    ``handle`` is the control-plane object (status / scale / submit);
+    the other fields are conveniences for experiments that read the
+    mechanism directly.
+    """
+
+    handle: ServiceHandle
     scheduler: ClusterScheduler
     balancer: LoadBalancer
     scoring_engine: ScoringEngine
@@ -36,16 +46,27 @@ class RankingCluster:
     def deployments(self):
         return self.balancer.deployments
 
+    @property
+    def spec(self) -> ServiceSpec:
+        return self.handle.spec
+
 
 class CatapultFabric:
     """A deployed reconfigurable fabric, ready for services.
 
     Typical use::
 
-        fabric = CatapultFabric(pods=1, seed=7)
-        pipeline = fabric.deploy_ranking(ring=0, model_scale=0.1)
-        # ... inject requests via pipeline.spawn_injector(...)
-        report = fabric.check_health(fabric.pod(0).topology.ring(0))
+        fabric = CatapultFabric(pods=2, seed=7)
+        cluster = fabric.deploy_ranking_cluster(rings=4, model_scale=0.1)
+        # ... drive cluster.handle with an OpenLoopInjector ...
+        print(cluster.handle.status())
+
+    The cluster control plane (:class:`ClusterManager`) is created
+    lazily and owns the scheduler, the per-pod mapping managers, and
+    the per-pod health monitors — ``mapping_manager()`` and
+    ``health_monitor()`` expose those shared instances, so a
+    ``check_health`` that finds failures rotates the same assignments
+    the cluster layer serves from.
     """
 
     def __init__(
@@ -63,29 +84,37 @@ class CatapultFabric:
             topology=topology or TorusTopology(),
             shell_config=shell_config or ShellConfig(),
         )
-        self._mapping_managers: dict[int, MappingManager] = {}
-        self._health_monitors: dict[int, HealthMonitor] = {}
+        self._manager: ClusterManager | None = None
+        self._injector: ClusterFailureInjector | None = None
 
     # -- infrastructure access ------------------------------------------------
 
     def pod(self, pod_id: int = 0) -> Pod:
         return self.datacenter.pod(pod_id)
 
+    def manager(self) -> ClusterManager:
+        """The (lazily created) cluster control plane."""
+        if self._manager is None:
+            self._manager = ClusterManager(self.datacenter)
+        return self._manager
+
+    def failure_injector(self) -> ClusterFailureInjector:
+        """Datacenter-scoped failure injection for experiments."""
+        if self._injector is None:
+            self._injector = ClusterFailureInjector(self.datacenter)
+        return self._injector
+
     def mapping_manager(self, pod_id: int = 0) -> MappingManager:
-        if pod_id not in self._mapping_managers:
-            self._mapping_managers[pod_id] = MappingManager(self.engine, self.pod(pod_id))
-        return self._mapping_managers[pod_id]
+        return self.manager().scheduler.mapping_manager(pod_id)
 
     def health_monitor(self, pod_id: int = 0) -> HealthMonitor:
-        if pod_id not in self._health_monitors:
-            self._health_monitors[pod_id] = HealthMonitor(
-                self.engine,
-                self.pod(pod_id),
-                mapping_manager=self.mapping_manager(pod_id),
-            )
-        return self._health_monitors[pod_id]
+        return self.manager().health_monitor(pod_id)
 
     # -- service deployment ----------------------------------------------------
+
+    def apply(self, spec: ServiceSpec) -> ServiceHandle:
+        """Declare a service; the control plane converges onto it."""
+        return self.manager().apply(spec)
 
     def deploy_ranking(
         self,
@@ -106,6 +135,36 @@ class CatapultFabric:
         pipeline.deploy()
         return pipeline
 
+    def ranking_spec(
+        self,
+        replicas: int = 1,
+        placement: str = "spread",
+        balancing: str = "least_outstanding",
+        library: ModelLibrary | None = None,
+        model_scale: float = 1.0,
+        qm_policy: str = "batch",
+        health_period_ns: float = 10 * SEC,
+    ) -> tuple[ServiceSpec, ScoringEngine, ModelLibrary]:
+        """A :class:`ServiceSpec` for the ranking service.
+
+        Synthesizes the service once (bitstreams and scoring engine are
+        shared across every replica) and returns the spec together with
+        the scoring engine and library the caller needs to warm request
+        pools.  ``model_scale`` applies only when no ``library`` is
+        supplied.
+        """
+        library = library or ModelLibrary.default(scale=model_scale)
+        scoring_engine = ScoringEngine(library)
+        spec = ServiceSpec(
+            service=ranking_service(scoring_engine, qm_policy),
+            replicas=replicas,
+            placement=placement,
+            balancing=balancing,
+            adapter=RankingRequestAdapter(),
+            health_period_ns=health_period_ns,
+        )
+        return spec, scoring_engine, library
+
     def deploy_ranking_cluster(
         self,
         rings: int = 1,
@@ -114,26 +173,31 @@ class CatapultFabric:
         library: ModelLibrary | None = None,
         model_scale: float = 1.0,
         qm_policy: str = "batch",
+        health_period_ns: float = 10 * SEC,
     ) -> RankingCluster:
-        """Deploy ranking on ``rings`` rings across pods, front-ended.
+        """Declare ranking on ``rings`` ring replicas, front-ended.
 
-        Synthesizes the service once and shares its bitstreams and
-        scoring engine across every ring; the scheduler places rings
-        under ``placement_policy`` and the cluster's
-        :class:`LoadBalancer` dispatches under ``balancing_policy``.
-        ``model_scale`` applies only when no ``library`` is supplied.
+        Sugar over :meth:`ranking_spec` + :meth:`apply`: builds the
+        spec, hands it to the control plane, and bundles the handle with
+        the scoring engine and library for benchmark convenience.  One
+        fabric manages one ranking service — re-declare through
+        ``cluster.handle.scale(n)`` (or re-``apply`` the same spec)
+        rather than calling this twice.
         """
-        library = library or ModelLibrary.default(scale=model_scale)
-        scoring_engine = ScoringEngine(library)
-        service = ranking_service(scoring_engine, qm_policy)
-        scheduler = ClusterScheduler(self.datacenter, policy=placement_policy)
-        deployments = scheduler.deploy(
-            service, rings=rings, adapter=RankingRequestAdapter()
+        spec, scoring_engine, library = self.ranking_spec(
+            replicas=rings,
+            placement=placement_policy,
+            balancing=balancing_policy,
+            library=library,
+            model_scale=model_scale,
+            qm_policy=qm_policy,
+            health_period_ns=health_period_ns,
         )
-        balancer = LoadBalancer(self.engine, deployments, policy=balancing_policy)
+        handle = self.apply(spec)
         return RankingCluster(
-            scheduler=scheduler,
-            balancer=balancer,
+            handle=handle,
+            scheduler=self.manager().scheduler,
+            balancer=handle.balancer,
             scoring_engine=scoring_engine,
             library=library,
         )

@@ -48,6 +48,14 @@ class ManufacturingReport:
     failed_cards: int
     total_links: int
     failed_links: int
+    # Where the failed cards landed: (slot, node) pairs, so the control
+    # plane can cordon the affected rings until the cards are swapped.
+    failed_card_sites: tuple = ()
+
+    @property
+    def failed_card_slots(self) -> tuple:
+        """The distinct ring slots containing a failed card."""
+        return tuple(sorted({slot for slot, _node in self.failed_card_sites}))
 
     @property
     def card_failure_rate(self) -> float:
@@ -146,17 +154,20 @@ class Datacenter:
         the paper's deployment findings (7 cards, 1 link).
         """
         rng = self.engine.rng.stream(stream)
-        failed_cards = sum(
-            1 for _ in range(self.total_servers) if rng.random() < card_failure_rate
-        )
+        failed_sites = []
+        for pod_id in range(self.num_pods):
+            for node in self.topology.nodes():
+                if rng.random() < card_failure_rate:
+                    failed_sites.append((RingSlot(pod_id, node[0]), node))
         failed_links = sum(
             1 for _ in range(self.total_links) if rng.random() < link_failure_rate
         )
         return ManufacturingReport(
             total_cards=self.total_servers,
-            failed_cards=failed_cards,
+            failed_cards=len(failed_sites),
             total_links=self.total_links,
             failed_links=failed_links,
+            failed_card_sites=tuple(failed_sites),
         )
 
     def __repr__(self) -> str:

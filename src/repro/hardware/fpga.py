@@ -73,6 +73,7 @@ class Fpga:
         self.bitstream: Bitstream | None = None
         self.seu = SeuCounters()
         self.pll_locked = True
+        self.temp_shutdown = False  # part shut itself down over-temperature
         self.reconfig_count = 0
         self.partial_reconfig_count = 0
         self.role_reloading = False  # partial reconfiguration in flight
@@ -196,6 +197,7 @@ class Fpga:
         """Manual service/replacement completed; back to unconfigured."""
         self.seu = SeuCounters()
         self.pll_locked = True
+        self.temp_shutdown = False
         self.bitstream = None
         self._set_state(FpgaState.UNCONFIGURED)
 

@@ -59,7 +59,7 @@ class FailureInjector:
                 raise ValueError(f"no role attached at {node}")
             server.shell.role.app_error = True
         elif kind is FailureKind.TEMP_SHUTDOWN:
-            server.fpga.pll_locked = False  # part shut itself down
+            server.fpga.temp_shutdown = True  # part shut itself down
             server.fpga.mark_failed()
         elif kind is FailureKind.SEU_UNCORRECTABLE:
             server.fpga.inject_seu(correctable=False)

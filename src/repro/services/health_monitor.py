@@ -248,4 +248,5 @@ class HealthMonitor:
             dram_uncorrectable=any(d["uncorrectable"] > 0 for d in dram),
             app_error=health["app_error"],
             seu_uncorrected=health["seu"]["uncorrected"] > 0,
+            temp_shutdown=health.get("temp_shutdown", False),
         )

@@ -14,9 +14,10 @@ import dataclasses
 import typing
 
 from repro.fabric.pod import Pod
-from repro.fabric.server import Server
+from repro.fabric.server import Server, ServerState
 from repro.fabric.torus import NodeId
 from repro.hardware.bitstream import Bitstream
+from repro.hardware.fpga import FpgaState
 from repro.host.driver import FpgaDriver
 from repro.shell.role import Role
 from repro.sim import AllOf, Engine, Event
@@ -69,6 +70,7 @@ class RingAssignment:
         self.ring_nodes = list(ring_nodes)
         self.excluded: set[NodeId] = set()  # mapped-out hardware
         self.role_to_node: dict[str, NodeId] = {}
+        self.servable = True  # cleared when failures exhaust the ring
         self.version = 0
         self.recompute()
 
@@ -119,6 +121,26 @@ class RingAssignment:
         self.excluded.add(node)
         self.recompute()
 
+    def map_out(self, node: NodeId) -> bool:
+        """Exclude ``node``, tolerating ring exhaustion.
+
+        Unlike :meth:`exclude`, mapping out the last spare does not
+        raise: the assignment is marked unservable (``servable`` False)
+        so the control plane can observe the dead ring, release it, and
+        re-place the replica elsewhere.  Returns whether the ring is
+        still servable.
+        """
+        if node not in self.ring_nodes:
+            raise ValueError(f"{node} is not part of this ring")
+        self.excluded.add(node)
+        healthy = [n for n in self.ring_nodes if n not in self.excluded]
+        if len(healthy) < len(self.service.roles):
+            self.servable = False
+            self.version += 1
+            return False
+        self.recompute()
+        return True
+
 
 class MappingManager:
     """Pod-level service deployment and failure response."""
@@ -131,6 +153,7 @@ class MappingManager:
         self.deployments = 0
         self.relocations = 0
         self.in_place_reconfigs = 0
+        self.ring_exhaustions = 0
 
     def driver_for(self, server: Server) -> FpgaDriver:
         if server.machine_id not in self._drivers:
@@ -149,12 +172,26 @@ class MappingManager:
         """
         ring_nodes = [server.node_id for server in self.pod.ring(ring_x)]
         assignment = RingAssignment(service, self.pod, ring_nodes)
-        self.assignments.append(assignment)
+        # Consult the failed-machine knowledge before configuring: nodes
+        # whose hardware is flagged for manual service (dead server or
+        # failed FPGA) start mapped out, so a ring that previously lost
+        # machines can still host a new service on its survivors.
+        for node in ring_nodes:
+            server = self.pod.server_at(node)
+            if server.state is ServerState.DEAD or server.fpga.state is FpgaState.FAILED:
+                if not assignment.map_out(node):
+                    raise InsufficientRingCapacity(
+                        f"ring {ring_x} of pod {self.pod.pod_id}: too much "
+                        f"failed hardware for service {service.name!r}"
+                    )
         done = self.engine.event(name=f"deploy:{service.name}")
         nodes = [node for node in ring_nodes if node not in assignment.excluded]
         for node, server in self.pod.servers.items():
-            if node not in ring_nodes and server.fpga.configured_role is None:
-                nodes.append(node)
+            if node in ring_nodes or server.fpga.configured_role is not None:
+                continue
+            if server.state is ServerState.DEAD or server.fpga.state is FpgaState.FAILED:
+                continue  # flagged for manual service; cannot take an image
+            nodes.append(node)
         self.engine.process(self._configure_body(assignment, nodes, done))
         self.deployments += 1
         return done
@@ -186,6 +223,10 @@ class MappingManager:
         for node, server in self.pod.servers.items():
             if node not in assignment.excluded and server.fpga.configured_role:
                 server.shell.release_rx_halt()
+        # Register only once configured: a deploy that failed on bad
+        # hardware must not leave a half-registered assignment behind.
+        if assignment not in self.assignments:
+            self.assignments.append(assignment)
         done.succeed(assignment)
 
     # -- failure handling (§3.5) ----------------------------------------------------
@@ -198,6 +239,8 @@ class MappingManager:
 
     def _handle_failures_body(self, report: "HealthReport", done) -> typing.Generator:
         for assignment in self.assignments:
+            if not assignment.servable:
+                continue  # already exhausted; awaiting reconciliation
             relocate_nodes = []
             reconfig_nodes = []
             for diagnosis in report.failed_machines:
@@ -210,8 +253,14 @@ class MappingManager:
                 elif diagnosis.flags.needs_reconfig_only:
                     reconfig_nodes.append(diagnosis.node_id)
             if relocate_nodes:
+                servable = True
                 for node in relocate_nodes:
-                    assignment.exclude(node)
+                    servable = assignment.map_out(node)
+                if not servable:
+                    # Out of spares: the ring cannot stay mapped.  Leave
+                    # it for the control plane to release and re-place.
+                    self.ring_exhaustions += 1
+                    continue
                 self.relocations += 1
                 # Reconfigure the whole surviving ring: clears corrupted
                 # state and installs the rotated mapping.

@@ -252,6 +252,7 @@ class Shell:
             "machine_id": self.machine_id,
             "fpga_state": self.fpga.state.value,
             "pll_locked": self.fpga.pll_locked,
+            "temp_shutdown": self.fpga.temp_shutdown,
             "app_error": bool(self.role and self.role.app_error),
             "role_corrupted": bool(self.role and self.role.corrupted),
             "dram": [

@@ -126,7 +126,11 @@ class Engine:
                     break  # only daemon (periodic background) work remains
                 when = self._queue[0][0]
                 if until is not None and when > until:
-                    self.now = until
+                    # max(): a nested run_until (e.g. a reconciliation
+                    # placing a replacement ring from inside a watchdog
+                    # callback) may already have advanced the clock past
+                    # the deadline; never move time backwards.
+                    self.now = max(self.now, until)
                     break
                 self.step()
         finally:

@@ -233,6 +233,60 @@ def test_fpga_fault_flags_relocation_and_pll():
     assert flags.needs_relocation
 
 
+def test_temp_shutdown_reported_in_error_vector():
+    # Regression: temperature shutdowns used to be dropped by _analyze,
+    # silently excluding them from relocation decisions (§3.5).
+    eng, pod = build_pod()
+    FailureInjector(pod).inject(FailureKind.TEMP_SHUTDOWN, (1, 2))
+    monitor = HealthMonitor(eng, pod)
+    report = eng.run_until(monitor.investigate([(1, 2)]))
+    flags = report.diagnoses[0].flags
+    assert flags.temp_shutdown
+    assert flags.needs_relocation
+    assert any(f.temp_shutdown for f in monitor.failed_machine_list.values())
+
+
+def test_map_out_exhaustion_marks_unservable():
+    # Unlike exclude(), map_out() tolerates running out of spares: the
+    # assignment goes unservable for the control plane to reconcile.
+    eng, pod = build_pod()
+    manager = MappingManager(eng, pod)
+    assignment = eng.run_until(manager.deploy(relay_service(), ring_x=1))
+    assert assignment.map_out((1, 3)) is True
+    assert assignment.servable
+    assert assignment.map_out((1, 2)) is False
+    assert not assignment.servable
+    assert (1, 2) in assignment.excluded
+
+
+def test_watchdog_exhaustion_is_graceful():
+    # A health report that exhausts a ring's spares must not crash the
+    # monitor's process chain; the assignment is left unservable.
+    eng, pod = build_pod()
+    manager = MappingManager(eng, pod)
+    monitor = HealthMonitor(eng, pod, mapping_manager=manager)
+    assignment = eng.run_until(manager.deploy(relay_service(), ring_x=1))
+    injector = FailureInjector(pod)
+    for node in [(1, 2), (1, 3)]:
+        injector.inject(FailureKind.FPGA_HARDWARE_FAULT, node)
+    report = eng.run_until(monitor.investigate([(1, 2), (1, 3)]))
+    assert len(report.failed_machines) == 2
+    assert not assignment.servable
+    assert manager.ring_exhaustions == 1
+
+
+def test_deploy_pre_excludes_failed_hardware():
+    # Deploying onto a ring with a known-dead FPGA maps the node out up
+    # front instead of failing the configuration.
+    eng, pod = build_pod()
+    FailureInjector(pod).inject(FailureKind.FPGA_HARDWARE_FAULT, (1, 0))
+    manager = MappingManager(eng, pod)
+    assignment = eng.run_until(manager.deploy(relay_service(), ring_x=1))
+    assert (1, 0) in assignment.excluded
+    assert assignment.servable
+    assert (1, 0) not in assignment.role_to_node.values()
+
+
 def test_miswiring_reported_as_neighbor_mismatch():
     eng = Engine(seed=5)
     topology = TorusTopology(width=3, height=4)
