@@ -9,7 +9,6 @@ a strawman FIFO that reloads on every model change.
 
 from bench_harness import build_ring
 from repro.analysis import format_table
-from repro.sim import AllOf
 
 REQUESTS = 96
 MODEL_MIX = {0: 0.4, 1: 0.3, 2: 0.3}

@@ -5,7 +5,6 @@ costs 20 % of peak bandwidth but turns flit errors into corrected (or
 cleanly dropped) packets instead of silent corruption.
 """
 
-import dataclasses
 
 from repro.analysis import format_table
 from repro.hardware.bitstream import shell_budget

@@ -14,7 +14,6 @@ software's knee.  The FPGA rides flat until FE saturates the ring.
 from bench_harness import (
     FPGA_PER_SERVER_SATURATION_PER_S,
     RATE_ONE_PER_S,
-    SOFTWARE_SATURATION_PER_S,
     build_ring,
     latency_stats,
     open_loop_fpga,

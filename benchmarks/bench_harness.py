@@ -8,7 +8,6 @@ baseline equivalents — the methodology of §5.
 from __future__ import annotations
 
 import itertools
-import typing
 
 from repro.analysis import LatencyStats
 from repro.fabric import Pod, TorusTopology

@@ -13,7 +13,6 @@ from collections import Counter
 from repro.fabric import Pod, TorusTopology
 from repro.fabric.cables import WiringPlan
 from repro.services import HealthMonitor
-from repro.shell.router import Port
 from repro.sim import Engine
 
 

@@ -22,10 +22,14 @@ Mechanism
     accounting), each placement yielding a generic per-ring
     :class:`Deployment`; a front-end :class:`LoadBalancer` dispatches
     requests across the deployed rings under pluggable policies.
-    Open-loop traffic sources that drive the front end live in
-    :mod:`repro.workloads.openloop`.
+    Replicas spanning several rings (``rings_per_replica``) are placed
+    as all-or-nothing gangs and chained into one request path by a
+    :class:`CompositeDeployment` (§2.3: services compose groups of
+    FPGAs over the torus).  Open-loop traffic sources that drive the
+    front end live in :mod:`repro.workloads.openloop`.
 """
 
+from repro.cluster.composite import CompositeDeployment
 from repro.cluster.deployment import Deployment, InjectorStats, RequestAdapter
 from repro.cluster.echo import EchoRole, echo_service
 from repro.cluster.failures import ClusterFailureInjector
@@ -59,6 +63,7 @@ __all__ = [
     "ClusterFailureInjector",
     "ClusterManager",
     "ClusterScheduler",
+    "CompositeDeployment",
     "Deployment",
     "EchoRole",
     "echo_service",

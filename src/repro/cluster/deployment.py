@@ -106,7 +106,19 @@ class Deployment:
     # -- deployment ------------------------------------------------------------
 
     def deploy(self) -> RingAssignment:
-        done = self.mapping_manager.deploy(self.service, self.ring_x)
+        return self.finish_deploy(self.begin_deploy())
+
+    def begin_deploy(self) -> Event:
+        """Start configuring the ring; returns the completion event.
+
+        Split from :meth:`finish_deploy` so the scheduler can overlap
+        the ~1 s full-ring reconfigurations of a gang's members when
+        they sit in different pods.
+        """
+        return self.mapping_manager.deploy(self.service, self.ring_x)
+
+    def finish_deploy(self, done: Event) -> RingAssignment:
+        """Wait out a :meth:`begin_deploy` and adopt the assignment."""
         self.assignment = self.engine.run_until(done)
         return self.assignment
 
@@ -211,6 +223,10 @@ class Deployment:
                     get.cancelled = True
                     self.timeouts += 1
                     return None
+                # The lease arrived: disarm the deadline so it does not
+                # keep a bare run() alive (and the heap populated) for
+                # the full timeout after the request already resolved.
+                deadline.cancel()
             lease = get.value
             try:
                 if include_prep:

@@ -85,6 +85,13 @@ class LoadBalancer:
                 self._rr_index += 1
                 if candidate.health_weight() > 0.0:
                     return candidate
+            # `healthy` is non-empty, so the full scan must have found a
+            # ring; falling through to weighted-random would let a policy
+            # bug masquerade as load balancing.
+            raise AssertionError(
+                f"{self.name}: round_robin scanned {len(self.deployments)} "
+                "rings without finding the healthy one"
+            )
         if self.policy == "least_outstanding":
             return min(healthy, key=lambda d: d.outstanding)
         weights = [d.health_weight() for d in healthy]

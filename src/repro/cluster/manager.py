@@ -27,6 +27,7 @@ import dataclasses
 import typing
 
 from repro.analysis import percentile
+from repro.cluster.composite import CompositeDeployment
 from repro.cluster.deployment import Deployment
 from repro.cluster.load_balancer import LoadBalancer
 from repro.cluster.scheduler import (
@@ -46,7 +47,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 @dataclasses.dataclass(frozen=True)
 class RingStatus:
-    """Observed state of one replica ring."""
+    """Observed state of one replica (a ring, or a gang of rings).
+
+    For a composite replica ``slot`` is the head member's ring and
+    ``member_slots`` lists every ring of the gang in chain order; for a
+    plain single-ring replica ``member_slots`` is ``(slot,)``.
+    """
 
     name: str
     slot: RingSlot
@@ -56,6 +62,7 @@ class RingStatus:
     timeouts: int
     throughput_per_s: float
     p99_us: float | None
+    member_slots: tuple = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,7 +86,9 @@ class ReconcileAction:
     """One convergence step: what the manager did and where."""
 
     service: str
-    kind: str  # release_unservable | replace | scale_down | cordon | shortfall
+    # release_unservable | release_gang_member | reshape | place |
+    # replace | scale_down | cordon | shortfall
+    kind: str
     slot: RingSlot | None = None
     detail: str = ""
 
@@ -262,13 +271,29 @@ class ClusterManager:
         """Tear a service down: release every ring, stop its watchdog."""
         handle.stop_watchdog()
         freed = []
-        for deployment in list(handle.balancer.deployments):
-            freed.append(self.scheduler.release(deployment))
-            handle.balancer.deployments.remove(deployment)
-            handle.retired.append(deployment)
+        for replica in list(handle.balancer.deployments):
+            freed.extend(self._release_replica(replica))
+            handle.balancer.deployments.remove(replica)
+            handle.retired.append(replica)
         handle.active = False
         self.handles.pop(handle.name, None)
         return freed
+
+    # -- replica plumbing (single ring vs composite gang) ----------------------
+
+    @staticmethod
+    def _member_rings(replica) -> list[Deployment]:
+        """The physical ring deployments behind one replica."""
+        if isinstance(replica, CompositeDeployment):
+            return replica.members
+        return [replica]
+
+    def _release_replica(self, replica) -> list[RingSlot]:
+        """Free every ring a replica occupies; returns the slots."""
+        return [
+            self.scheduler.release(member)
+            for member in self._member_rings(replica)
+        ]
 
     # -- reconciliation --------------------------------------------------------
 
@@ -298,25 +323,73 @@ class ClusterManager:
         actions: list[ReconcileAction] = []
         spec = handle.spec
         balancer = handle.balancer
-        # 1. Shed rings that fell below servability.
-        for deployment in list(balancer.deployments):
-            if deployment.health_weight() > 0.0:
+        # 1. Shed replicas that fell below servability.  A composite
+        # replica fails as a unit (its weight is the min over members):
+        # every member ring is released, but only the slots of members
+        # that actually died are cordoned — healthy members sat on good
+        # hardware and their slots return straight to the free pool.
+        for replica in list(balancer.deployments):
+            if replica.health_weight() > 0.0:
                 continue
-            slot = self.scheduler.release(deployment)
-            self.scheduler.cordon(slot)
-            balancer.deployments.remove(deployment)
-            handle.retired.append(deployment)
-            actions.append(
-                ReconcileAction(spec.name, "release_unservable", slot)
-            )
+            for member in self._member_rings(replica):
+                dead = member.health_weight() == 0.0
+                slot = self.scheduler.release(member)
+                if dead:
+                    self.scheduler.cordon(slot)
+                actions.append(
+                    ReconcileAction(
+                        spec.name,
+                        "release_unservable" if dead else "release_gang_member",
+                        slot,
+                    )
+                )
+            balancer.deployments.remove(replica)
+            handle.retired.append(replica)
         # 2. Scale down: release the least healthy replicas first.
+        # Before reshaping, so surplus replicas are not pointlessly
+        # rebuilt at the new shape and their slots are free for it.
         while len(balancer.deployments) > spec.replicas:
             victim = min(balancer.deployments, key=lambda d: d.health_weight())
-            slot = self.scheduler.release(victim)
+            for slot in self._release_replica(victim):
+                actions.append(ReconcileAction(spec.name, "scale_down", slot))
             balancer.deployments.remove(victim)
             handle.retired.append(victim)
-            actions.append(ReconcileAction(spec.name, "scale_down", slot))
-        # 3. Scale up / replace until the declared count is restored.
+        # 3. Reshape replicas whose member count no longer matches the
+        # declaration (``rings_per_replica`` changed on re-apply) — one
+        # at a time, release-then-immediately-re-place, with a capacity
+        # pre-flight, so a new shape that cannot be placed degrades the
+        # service by at most one replica instead of taking every
+        # healthy old-shape replica dark at once.
+        for replica in list(balancer.deployments):
+            members = self._member_rings(replica)
+            if len(members) == spec.rings_per_replica:
+                continue
+            free = len(self.scheduler.free_slots())
+            if free + len(members) < spec.rings_per_replica:
+                # The new shape cannot possibly fit even reusing this
+                # replica's own slots: keep the old shape serving.
+                actions.append(
+                    ReconcileAction(
+                        spec.name,
+                        "shortfall",
+                        None,
+                        detail=(
+                            f"reshape to {spec.rings_per_replica} rings "
+                            f"needs more capacity ({free} free)"
+                        ),
+                    )
+                )
+                continue
+            for slot in self._release_replica(replica):
+                actions.append(ReconcileAction(spec.name, "reshape", slot))
+            balancer.deployments.remove(replica)
+            handle.retired.append(replica)
+            placed, place_actions = self._place_one(spec, kind="replace")
+            actions.extend(place_actions)
+            if placed is None:
+                break  # capacity raced away; step 4 records the rest
+            balancer.deployments.append(placed)
+        # 4. Scale up / replace until the declared count is restored.
         while len(balancer.deployments) < spec.replicas:
             placed, place_actions = self._place_one(spec, kind="replace")
             actions.extend(place_actions)
@@ -327,19 +400,36 @@ class ClusterManager:
 
     def _place_one(
         self, spec: "ServiceSpec", kind: str
-    ) -> tuple[Deployment | None, list[ReconcileAction]]:
-        """Place one replica, cordoning slots that fail at configure
-        time and retrying until a ring sticks or capacity runs out."""
+    ) -> tuple[Deployment | CompositeDeployment | None, list[ReconcileAction]]:
+        """Place one replica — a single ring, or a gang of
+        ``rings_per_replica`` rings wrapped in a
+        :class:`CompositeDeployment` — cordoning slots that fail at
+        configure time and retrying until the replica sticks or
+        capacity runs out.  Gangs are all-or-nothing: a configure
+        failure rolls the partial gang back inside the scheduler, the
+        bad slot is cordoned here, and the whole gang is retried."""
         actions: list[ReconcileAction] = []
         while True:
             try:
-                (placed,) = self.scheduler.deploy(
-                    spec.service,
-                    rings=1,
-                    adapter=spec.adapter,
-                    slots_per_server=spec.slots_per_server,
-                    policy=spec.placement,
-                )
+                if spec.rings_per_replica == 1:
+                    (placed,) = self.scheduler.deploy(
+                        spec.service,
+                        rings=1,
+                        adapter=spec.adapter,
+                        slots_per_server=spec.slots_per_server,
+                        policy=spec.placement,
+                    )
+                else:
+                    members = self.scheduler.deploy_gang(
+                        spec.service,
+                        rings=spec.rings_per_replica,
+                        adapter=spec.adapter,
+                        slots_per_server=spec.slots_per_server,
+                        policy=spec.placement,
+                    )
+                    placed = CompositeDeployment(
+                        self.engine, members, datacenter=self.datacenter
+                    )
             except PlacementFailed as failure:
                 # The chosen slot turned out to have bad hardware the
                 # scheduler had no record of; hold it out and retry.
@@ -355,9 +445,21 @@ class ClusterManager:
                     ReconcileAction(spec.name, "shortfall", None, detail=str(exc))
                 )
                 return None, actions
-            self.health_monitor(placed.pod.pod_id)
+            members = self._member_rings(placed)
+            for member in members:
+                self.health_monitor(member.pod.pod_id)
+            slots = [self.scheduler.slot_of(member) for member in members]
             actions.append(
-                ReconcileAction(spec.name, kind, self.scheduler.slot_of(placed))
+                ReconcileAction(
+                    spec.name,
+                    kind,
+                    slots[0],
+                    detail=(
+                        " -> ".join(str(slot) for slot in slots)
+                        if len(slots) > 1
+                        else ""
+                    ),
+                )
             )
             return placed, actions
 
@@ -412,16 +514,17 @@ class ClusterManager:
 
     def _sweep_body(self, handle: ServiceHandle) -> typing.Generator:
         by_pod: dict[int, list] = {}
-        for deployment in list(handle.balancer.deployments):
-            assignment = deployment.assignment
-            if assignment is None:
-                continue
-            live = [
-                node
-                for node in assignment.ring_nodes
-                if node not in assignment.excluded
-            ]
-            by_pod.setdefault(deployment.pod.pod_id, []).extend(live)
+        for replica in list(handle.balancer.deployments):
+            for member in self._member_rings(replica):
+                assignment = member.assignment
+                if assignment is None:
+                    continue
+                live = [
+                    node
+                    for node in assignment.ring_nodes
+                    if node not in assignment.excluded
+                ]
+                by_pod.setdefault(member.pod.pod_id, []).extend(live)
         for pod_id in sorted(by_pod):
             report = yield self.health_monitor(pod_id).investigate(by_pod[pod_id])
             del report  # failures already routed to the mapping manager
@@ -430,22 +533,26 @@ class ClusterManager:
 
     def status_of(self, handle: ServiceHandle) -> ServiceStatus:
         rings = []
-        for deployment in handle.balancer.deployments:
-            weight = deployment.health_weight()
+        for replica in handle.balancer.deployments:
+            slots = tuple(
+                self.scheduler.slot_of(member)
+                for member in self._member_rings(replica)
+            )
             rings.append(
                 RingStatus(
-                    name=deployment.name,
-                    slot=self.scheduler.slot_of(deployment),
-                    health=weight,
-                    outstanding=deployment.outstanding,
-                    completed=deployment.completed,
-                    timeouts=deployment.timeouts,
-                    throughput_per_s=deployment.meter.per_second,
+                    name=replica.name,
+                    slot=slots[0],
+                    health=replica.health_weight(),
+                    outstanding=replica.outstanding,
+                    completed=replica.completed,
+                    timeouts=replica.timeouts,
+                    throughput_per_s=replica.meter.per_second,
                     p99_us=(
-                        percentile(deployment.latencies_ns, 99) / US
-                        if deployment.latencies_ns
+                        percentile(replica.latencies_ns, 99) / US
+                        if replica.latencies_ns
                         else None
                     ),
+                    member_slots=slots,
                 )
             )
         return ServiceStatus(

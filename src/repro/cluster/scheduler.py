@@ -152,7 +152,11 @@ class ClusterScheduler:
 
     # -- placement -------------------------------------------------------------
 
-    def _choose(self, count: int, policy: str | None = None) -> list[RingSlot]:
+    def _free_pool(
+        self, count: int, policy: str | None
+    ) -> tuple[str, dict[int, list[RingSlot]]]:
+        """Validated policy + the free slots grouped by pod, or raise
+        if fewer than ``count`` rings are free datacenter-wide."""
         policy = policy or self.policy
         if policy not in PLACEMENT_POLICIES:
             raise ValueError(
@@ -165,14 +169,22 @@ class ClusterScheduler:
                 f"need {count} rings, only {len(free)} of "
                 f"{self.datacenter.total_rings} free"
             )
-        if policy == "pack":
-            return free[:count]
-        # spread: take one slot from each pod in turn until satisfied,
-        # starting from the round-robin cursor so successive deploy()
-        # calls keep rotating across pods instead of restarting at pod 0.
         by_pod: dict[int, list[RingSlot]] = {}
         for slot in free:
             by_pod.setdefault(slot.pod_id, []).append(slot)
+        return policy, by_pod
+
+    def _choose(self, count: int, policy: str | None = None) -> list[RingSlot]:
+        policy, by_pod = self._free_pool(count, policy)
+        if policy == "pack":
+            # free_slots() is pod-major ordered; fill pods in order.
+            ordered = [
+                slot for pod_id in sorted(by_pod) for slot in by_pod[pod_id]
+            ]
+            return ordered[:count]
+        # spread: take one slot from each pod in turn until satisfied,
+        # starting from the round-robin cursor so successive deploy()
+        # calls keep rotating across pods instead of restarting at pod 0.
         pods = sorted(by_pod)
         start = 0
         for index, pod_id in enumerate(pods):
@@ -185,6 +197,65 @@ class ClusterScheduler:
             for queue in queues:
                 if queue and len(chosen) < count:
                     chosen.append(queue.pop(0))
+        self._next_pod_id = chosen[-1].pod_id + 1
+        return chosen
+
+    def _choose_gang(self, count: int, policy: str | None = None) -> list[RingSlot]:
+        """Choose ``count`` rings composing ONE replica (a gang).
+
+        Unlike :meth:`_choose` — independent replicas, where only pod
+        diversity matters — gang members are chained into one request
+        path, so consecutive members should sit on pods that are close
+        on the datacenter's inter-pod loop
+        (:meth:`~repro.fabric.datacenter.Datacenter.pod_distance`):
+
+        ``pack``
+            Span the fewest pods (ideally one), breaking ties by the
+            shortest chained inter-pod path — minimises the cable runs
+            a request crosses between stages.
+
+        ``spread``
+            One ring per pod where capacity allows, on *consecutive*
+            pods of the loop starting at the round-robin cursor: blast
+            radius still spans power domains, but each stage-to-stage
+            hop crosses a single inter-pod run.
+        """
+        policy, by_pod = self._free_pool(count, policy)
+        num_pods = self.datacenter.num_pods
+        if policy == "pack":
+            best: tuple | None = None
+            for start in range(num_pods):
+                window: list[RingSlot] = []
+                pods_used = 0
+                for step in range(num_pods):
+                    queue = by_pod.get((start + step) % num_pods, [])
+                    take = min(len(queue), count - len(window))
+                    if take:
+                        window.extend(queue[:take])
+                        pods_used += 1
+                    if len(window) == count:
+                        break
+                if len(window) < count:
+                    continue
+                cost = sum(
+                    self.datacenter.pod_distance(a.pod_id, b.pod_id)
+                    for a, b in zip(window, window[1:])
+                )
+                key = (pods_used, cost, start)
+                if best is None or key < best[:3]:
+                    best = (*key, window)
+            assert best is not None  # len(free) >= count guarantees a window
+            return best[3]
+        # spread
+        chosen: list[RingSlot] = []
+        start = self._next_pod_id % num_pods
+        while len(chosen) < count:
+            took = len(chosen)
+            for step in range(num_pods):
+                queue = by_pod.get((start + step) % num_pods, [])
+                if queue and len(chosen) < count:
+                    chosen.append(queue.pop(0))
+            assert len(chosen) > took  # len(free) >= count guarantees progress
         self._next_pod_id = chosen[-1].pod_id + 1
         return chosen
 
@@ -208,29 +279,102 @@ class ClusterScheduler:
         if rings < 1:
             raise ValueError(f"need at least one ring, got {rings}")
         chosen = self._choose(rings, policy)
-        deployments = []
+        return self._configure_slots(service, chosen, adapter, slots_per_server)
+
+    def deploy_gang(
+        self,
+        service: ServiceDefinition,
+        rings: int,
+        adapter: RequestAdapter | None = None,
+        slots_per_server: int = 48,
+        policy: str | None = None,
+    ) -> list[Deployment]:
+        """Place ONE composite replica: ``rings`` member rings, all or
+        nothing.
+
+        Members are chosen by :meth:`_choose_gang` (link-aware, in chain
+        order) and configured like :meth:`deploy`; a configure failure
+        on any member rolls the whole gang back before re-raising, so a
+        replica never comes up partially placed.  The returned list is
+        in chain order — the caller wires it into a
+        :class:`~repro.cluster.composite.CompositeDeployment`.
+        """
+        if rings < 1:
+            raise ValueError(f"need at least one ring, got {rings}")
+        chosen = self._choose_gang(rings, policy)
+        return self._configure_slots(service, chosen, adapter, slots_per_server)
+
+    def _configure_slots(
+        self,
+        service: ServiceDefinition,
+        chosen: list[RingSlot],
+        adapter: RequestAdapter | None,
+        slots_per_server: int,
+    ) -> list[Deployment]:
+        """Configure the chosen rings, in waves of one slot per pod.
+
+        Rings in *different* pods reconfigure concurrently — a ~1 s
+        full-ring reload per wave instead of per ring, which is what
+        bounds gang re-placement time after a replica failure.  Rings
+        in the *same* pod stay serial: same-pod deploys share the
+        spare-image configure work and the FPGA rejects overlapping
+        reconfigurations.  Any configure failure rolls back every
+        already-placed ring before re-raising ``PlacementFailed`` —
+        without the rollback, a partial placement stranded the earlier
+        rings in ``_occupied`` and leaked their capacity (the caller
+        only ever sees the exception).
+        """
+        by_pod: dict[int, list[RingSlot]] = {}
         for slot in chosen:
-            deployment = Deployment(
-                self.engine,
-                self.datacenter.pod(slot.pod_id),
-                service,
-                ring_x=slot.ring_x,
-                adapter=adapter,
-                mapping_manager=self.mapping_manager(slot.pod_id),
-                slots_per_server=slots_per_server,
-            )
-            try:
-                deployment.deploy()
-            except (InsufficientRingCapacity, ReconfigError) as exc:
-                raise PlacementFailed(slot, exc) from exc
-            self._occupied[slot] = deployment
-            self.decisions.append(
-                PlacementDecision(
-                    service=service.name, slot=slot, spares=deployment.spare_count
+            by_pod.setdefault(slot.pod_id, []).append(slot)
+        placed: dict[RingSlot, Deployment] = {}
+        failure: PlacementFailed | None = None
+        while failure is None and any(by_pod.values()):
+            wave = [queue.pop(0) for queue in by_pod.values() if queue]
+            started: list[tuple[RingSlot, Deployment, object]] = []
+            for slot in wave:
+                deployment = Deployment(
+                    self.engine,
+                    self.datacenter.pod(slot.pod_id),
+                    service,
+                    ring_x=slot.ring_x,
+                    adapter=adapter,
+                    mapping_manager=self.mapping_manager(slot.pod_id),
+                    slots_per_server=slots_per_server,
                 )
+                try:
+                    event = deployment.begin_deploy()
+                except InsufficientRingCapacity as exc:
+                    failure = PlacementFailed(slot, exc)
+                    break
+                started.append((slot, deployment, event))
+            # Settle every configure this wave launched (they progress
+            # concurrently) even after a failure, so rollback acts on
+            # stable state rather than racing in-flight reconfigures.
+            for slot, deployment, event in started:
+                try:
+                    deployment.finish_deploy(event)
+                except (InsufficientRingCapacity, ReconfigError) as exc:
+                    if failure is None:
+                        failure = PlacementFailed(slot, exc)
+                    continue
+                self._occupied[slot] = deployment
+                placed[slot] = deployment
+        if failure is not None:
+            for deployment in placed.values():
+                self.release(deployment)
+            raise failure
+        # Log decisions in chain order, and only for placements that
+        # stuck — a rolled-back ring was never really placed.
+        self.decisions.extend(
+            PlacementDecision(
+                service=service.name,
+                slot=slot,
+                spares=placed[slot].spare_count,
             )
-            deployments.append(deployment)
-        return deployments
+            for slot in chosen
+        )
+        return [placed[slot] for slot in chosen]
 
     def release(self, deployment: Deployment) -> RingSlot:
         """Return a deployment's ring to the free pool (scale-down).

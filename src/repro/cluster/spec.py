@@ -32,6 +32,16 @@ class ServiceSpec:
         re-places replicas lost to failures and converges scale-up /
         scale-down.
 
+    ``rings_per_replica``
+        Rings composing ONE replica.  The default (1) is the paper's
+        ranking shape — one service instance per 8-FPGA ring; larger
+        accelerators span multiple rings reached over the torus (§2.3),
+        so each replica becomes a gang of rings chained into one request
+        path (a :class:`~repro.cluster.composite.CompositeDeployment`).
+        Gangs are placed all-or-nothing and fail as a unit: a member
+        ring exhausting its spares makes the whole replica unservable,
+        and reconciliation re-places the full gang.
+
     ``placement`` / ``balancing``
         Policies for the scheduler (``spread`` / ``pack``) and the
         front-end balancer (``round_robin`` / ``least_outstanding`` /
@@ -49,6 +59,7 @@ class ServiceSpec:
 
     service: ServiceDefinition
     replicas: int = 1
+    rings_per_replica: int = 1
     placement: str = "spread"
     balancing: str = "least_outstanding"
     adapter: RequestAdapter | None = None
@@ -59,6 +70,10 @@ class ServiceSpec:
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ValueError(f"need at least one replica, got {self.replicas}")
+        if self.rings_per_replica < 1:
+            raise ValueError(
+                f"need at least one ring per replica, got {self.rings_per_replica}"
+            )
         if self.placement not in PLACEMENT_POLICIES:
             raise ValueError(
                 f"unknown placement policy {self.placement!r}; "

@@ -140,6 +140,41 @@ class Datacenter:
         """The servers of one ring slot (builds the pod on first use)."""
         return self.pod(slot.pod_id).ring(slot.ring_x)
 
+    # -- inter-pod torus links (composite services) ---------------------------
+
+    # One inter-pod cable run: a rack-to-rack span, several times the
+    # 400 ns intra-pod SL3 hop (§2.2 "sub-microsecond" applies inside
+    # the pod).  Composite request chains pay this per pod hop between
+    # consecutive member rings — what gang placement minimises.
+    INTER_POD_HOP_NS = 2_000.0
+
+    def inter_pod_links(self) -> list[tuple[int, int]]:
+        """The pod-to-pod cable runs, each exactly once.
+
+        The intra-pod torus stops at the pod boundary (§2.2); traffic
+        between pods rides the longer cable runs between neighbouring
+        pods — two pods per rack, racks cabled in a loop — so the pods
+        themselves form a 1-D wraparound ring.  Composite services that
+        chain rings across pods pay one of these runs per consecutive
+        pod hop, which is why gang placement prefers adjacent pods.
+        """
+        if self.num_pods < 2:
+            return []
+        if self.num_pods == 2:
+            return [(0, 1)]  # a single run; no wraparound pair exists
+        return [(pod_id, (pod_id + 1) % self.num_pods)
+                for pod_id in range(self.num_pods)]
+
+    def pod_distance(self, a: int, b: int) -> int:
+        """Inter-pod hop count over the pod loop (0 for the same pod)."""
+        for pod_id in (a, b):
+            if not 0 <= pod_id < self.num_pods:
+                raise ValueError(
+                    f"pod {pod_id} outside deployment of {self.num_pods}"
+                )
+        gap = abs(a - b)
+        return min(gap, self.num_pods - gap)
+
     # -- §2.3 manufacturing statistics ------------------------------------------
 
     def manufacturing_test(

@@ -8,13 +8,11 @@ dimension-order routing table.
 
 from __future__ import annotations
 
-import typing
 
 from repro.fabric.cables import CableAssembly, WiringPlan
 from repro.fabric.ethernet import EthernetNetwork
 from repro.fabric.server import Server
 from repro.fabric.torus import ROUTING_POLICIES, NodeId, TorusTopology
-from repro.shell.router import Port
 from repro.shell.shell import ShellConfig
 from repro.shell.sl3 import Sl3Link
 from repro.sim import Engine

@@ -11,7 +11,6 @@ calibration failures) feed the Health Monitor's error vector.
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.hardware.constants import DramSpeed
 from repro.hardware.ecc import DecodeStatus, SecDedCodec

@@ -73,6 +73,9 @@ class SlotLease:
             if not consume.triggered:
                 self.timeouts += 1
                 raise RequestTimeout(packet.trace_id)
+            # The response won the race: disarm the deadline so it does
+            # not keep a bare run() alive for the full timeout.
+            deadline.cancel()
             response = consume.value
         # The response interrupt must wake this sleeping thread (§3.1).
         yield engine.timeout(INTERRUPT_WAKE_NS)

@@ -11,7 +11,6 @@ are what the experiments measure).
 from __future__ import annotations
 
 import collections
-import typing
 
 from repro.ranking.documents import CompressedDocument
 from repro.ranking.features import FeatureExtractor, FeatureLayout

@@ -32,6 +32,7 @@ from repro.ranking.ffe.assembler import FfeProgram, ThreadAssignment, assemble
 from repro.ranking.ffe.processor import FfeProcessor, ExecutionResult
 
 __all__ = [
+    "assemble",
     "BinOp",
     "COMPLEX_OPS",
     "CompileError",

@@ -17,7 +17,6 @@ from repro.hardware.constants import (
     FFE_CORES_PER_CLUSTER,
     FFE_THREADS_PER_CORE,
 )
-from repro.ranking.ffe.compiler import CompiledExpression
 
 
 @dataclasses.dataclass

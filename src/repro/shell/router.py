@@ -13,7 +13,6 @@ Recorder (head/tail flits, §3.6).
 from __future__ import annotations
 
 import enum
-import typing
 
 from repro.shell.fdr import FdrEntry, FlightDataRecorder
 from repro.shell.messages import NodeId, Packet, PacketKind

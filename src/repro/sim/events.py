@@ -121,6 +121,18 @@ class Timeout(Event):
         self._timeout_value = value
         engine._schedule_at(engine.now + delay, self)
 
+    def cancel(self) -> None:
+        """Disarm a pending timeout its waiter no longer needs.
+
+        The entry stays in the engine heap (removal from a binary heap
+        is O(n)) but is demoted to daemon work, so an abandoned deadline
+        no longer keeps a bare ``run()`` alive until it fires.
+        """
+        if self.triggered:
+            return
+        self.cancelled = True
+        self.engine.mark_daemon(self)
+
 
 class ConditionValue(dict):
     """Mapping of event -> value for AllOf/AnyOf results."""

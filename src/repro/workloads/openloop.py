@@ -13,6 +13,14 @@ an :class:`OpenLoopInjector` that feeds any sink exposing the
 When a ``max_queue_depth`` is set, arrivals that would push the sink's
 in-flight count past the limit are rejected at admission instead of
 growing the backlog without bound — load shedding at the front door.
+
+Shed-on-outage semantics: a request that finds *no* servable ring at
+dispatch time (every replica momentarily unservable — e.g. mid
+ring-rotation, or the window between a whole-ring failure and its
+reconciliation) is likewise counted as ``rejected`` and dropped, the
+§3.2 "time out and divert the request" behavior applied at the front
+door.  The injector keeps offering arrivals through the outage, so
+throughput recovers as soon as the control plane restores a replica.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import random
 import typing
 
 from repro.analysis import LatencyStats
+from repro.cluster.load_balancer import NoHealthyDeployment
 from repro.sim import AllOf, Engine, Event
 from repro.sim.units import SEC
 
@@ -193,7 +202,21 @@ class OpenLoopInjector:
         done.succeed(self.stats)
 
     def _handle(self, request, arrived_ns: float) -> typing.Generator:
-        response = yield from self.sink.submit(request, timeout_ns=self.timeout_ns)
+        try:
+            response = yield from self.sink.submit(
+                request, timeout_ns=self.timeout_ns
+            )
+        except NoHealthyDeployment:
+            # Every ring is momentarily unservable (mid ring-rotation or
+            # mid-reconcile).  Shed the request at the front door and
+            # keep the run alive — the outage window is exactly when the
+            # control plane is busy restoring capacity.  The arrival was
+            # provisionally admitted before dispatch; reclassify it so
+            # ``offered == admitted + rejected`` holds and the admission
+            # fraction stays honest through outages.
+            self.stats.admitted -= 1
+            self.stats.rejected += 1
+            return
         if response is None:
             self.stats.timeouts += 1
             return

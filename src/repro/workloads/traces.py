@@ -18,7 +18,6 @@ from repro.ranking.documents import (
     CompressedDocument,
     DocumentCodec,
     HitTuple,
-    MAX_QUERY_TERMS,
     MAX_STREAMS,
     Query,
     StreamHits,

@@ -11,7 +11,7 @@ from repro.fabric import Pod, ServerState, TorusTopology
 from repro.hardware import Bitstream, ResourceBudget, ReconfigError
 from repro.hardware.bitstream import ShellVersion
 from repro.hardware.constants import FULL_RECONFIG_NS, PARTIAL_RECONFIG_NS
-from repro.shell import PacketKind, Role
+from repro.shell import Role
 from repro.shell.fdr import FdrEntry, FlightDataRecorder
 from repro.sim import Engine, SEC
 

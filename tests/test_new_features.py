@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import replay_trace
 from repro.fabric import CrashSeverity, Pod, TorusTopology
-from repro.fabric.torus import dor_routes, yx_routes
+from repro.fabric.torus import yx_routes
 from repro.ranking.engine import ScoringEngine
 from repro.ranking.models import ModelLibrary, synthesize_model
 from repro.ranking.scoring import NeuralScorer

@@ -8,7 +8,7 @@ from servers across the pod, plus the FDR-based debugging workflow of
 
 import pytest
 
-from repro.fabric import Pod, TorusTopology
+from repro.fabric import Pod
 from repro.ranking.models import ModelLibrary
 from repro.ranking.pipeline import RankingPipeline
 from repro.sim import AllOf, Engine

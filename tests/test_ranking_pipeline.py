@@ -7,7 +7,7 @@ from repro.ranking.models import ModelLibrary
 from repro.ranking.pipeline import RankingPipeline, ranking_bitstreams
 from repro.ranking.software_ranker import SoftwareRanker
 from repro.ranking.stages import FeatureExtractionRole
-from repro.sim import Engine, SEC
+from repro.sim import Engine
 
 
 @pytest.fixture(scope="module")

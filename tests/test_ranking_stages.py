@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import LoopbackHarness, LoopbackMode
+from repro.core import LoopbackHarness
 from repro.ranking.engine import ScoringEngine
 from repro.ranking.models import ModelLibrary
 from repro.ranking.stages import RankingPayload

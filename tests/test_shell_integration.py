@@ -1,6 +1,5 @@
 """Integration tests: two full shells wired back-to-back over SL3."""
 
-import pytest
 
 from repro.hardware import Bitstream, Fpga, ResourceBudget
 from repro.shell import (

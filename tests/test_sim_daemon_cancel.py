@@ -6,8 +6,6 @@ role's receive loop must not let its pending ``get()`` swallow the
 next packet (the ring-rotation bug this guards against).
 """
 
-import pytest
-
 from repro.sim import Engine, Interrupt, Resource, Store
 
 
