@@ -1,0 +1,272 @@
+"""A week of failures, zero operator calls: the repair loop end-to-end.
+
+The paper's production fleet ran for months with hardware failing at a
+trickle (§2.3: 7 bad cards at deployment; §3.5: map out, raise a
+service ticket, swap, return to the pool).  Before the repair loop
+existed here, every cordoned slot was cordoned *forever* unless an
+operator called ``uncordon()`` — long experiments bled capacity
+monotonically.  This benchmark runs a compressed "week" under open-loop
+traffic with one ring killed per "day" and a lognormal repair-time
+distribution, and shows the loop closing by itself: each failure dips
+pool capacity (free + occupied rings), each ticket expiry heals it back
+to >= 95% of initial, and the declared replica count is restored after
+every repair — with zero manual ``uncordon()`` calls anywhere.
+
+Midweek, the service is also *upgraded in place*:
+``handle.upgrade(new_spec)`` rolls every replica onto a new
+ServiceDefinition one ring at a time — the paper's headline
+reconfigurability story (same machines, new accelerator) — while
+offered traffic keeps being admitted and completed throughout (no
+total-outage window).
+
+Time is compressed: one "day" is 1.5 simulated seconds (the quantities
+under test — cordon, ticket timer, reconfigure ~1 s, re-place — do not
+change with the day length, only the event count does).  Set
+``BENCH_SMOKE=1`` (or pass ``--smoke``) for the reduced CI
+configuration.
+"""
+
+import os
+
+from repro.analysis import format_table
+from repro.cluster import (
+    ClusterFailureInjector,
+    ClusterManager,
+    RepairPolicy,
+    ServiceSpec,
+    echo_service,
+)
+from repro.fabric import Datacenter, TorusTopology
+from repro.sim import Engine
+from repro.sim.units import MS, SEC
+from repro.workloads import OpenLoopInjector, PoissonArrivals
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+DAY_NS = 1.5 * SEC  # one compressed "day"
+DAYS = 3 if SMOKE else 7
+RATE_PER_S = 1_500.0 if SMOKE else 3_000.0
+REPLICAS = 3
+# Kill one ring per day, early in the day, so its repair (mean 0.5
+# "days", lognormal) lands within the same day or the next.
+FAIL_AT_FRACTION = 0.15
+REPAIR = RepairPolicy(distribution="lognormal", mean_ns=0.5 * DAY_NS, sigma=0.5)
+UPGRADE_DAY = 1 if SMOKE else 3  # roll the new image midweek
+WATCHDOG_PERIOD_NS = 0.15 * SEC
+REQUEST_TIMEOUT_NS = 40 * MS
+SAMPLE_NS = 50 * MS
+
+
+def capacity_fraction(manager) -> float:
+    report = manager.scheduler.capacity_report()
+    return (report.free_rings + report.occupied_rings) / report.total_rings
+
+
+def run_week() -> dict:
+    engine = Engine(seed=2014)
+    datacenter = Datacenter(
+        engine, num_pods=2, topology=TorusTopology(width=3, height=3)
+    )
+    manager = ClusterManager(datacenter, repair_policy=REPAIR)
+    handle = manager.apply(
+        ServiceSpec(
+            service=echo_service(delay_ns=20_000.0),
+            replicas=REPLICAS,
+            balancing="weighted_health",
+            request_timeout_ns=REQUEST_TIMEOUT_NS,
+            health_period_ns=WATCHDOG_PERIOD_NS,
+        )
+    )
+    injector = ClusterFailureInjector(datacenter)
+    pool = [object() for _ in range(32)]
+    # The week starts once the service is up (apply() spends ~1 s of
+    # simulated time per replica on ring reconfiguration).
+    start_ns = engine.now
+    horizon_ns = DAYS * DAY_NS
+    arrivals = int(RATE_PER_S * horizon_ns / SEC)
+    traffic = OpenLoopInjector(
+        engine,
+        handle,
+        PoissonArrivals(RATE_PER_S),
+        pool,
+        max_queue_depth=256,
+        timeout_ns=REQUEST_TIMEOUT_NS,
+    )
+    done = traffic.run(arrivals)
+
+    initial_capacity = capacity_fraction(manager)
+    samples = []  # (t_ns, capacity_fraction, open_tickets, admitted, completed)
+    failures_injected = 0
+    next_fail_day = 0
+    upgrade_span = None
+    new_service = echo_service(payload="scored-v2", delay_ns=15_000.0)
+    while not done.triggered:
+        engine.run(until=engine.now + SAMPLE_NS)
+        now = engine.now
+        elapsed = now - start_ns
+        samples.append(
+            (now, capacity_fraction(manager),
+             len(manager.repairs.open_tickets), traffic.stats.admitted,
+             traffic.stats.completed)
+        )
+        # One ring killed per day, threshold-based (a reconciliation
+        # pass can fast-forward the clock across a day boundary, so an
+        # equality check on the current day would skip that day's kill);
+        # the last two days stay quiet so every ticket's repair fits
+        # inside the measured horizon.
+        if (
+            next_fail_day < DAYS - 2
+            and elapsed >= (next_fail_day + FAIL_AT_FRACTION) * DAY_NS
+            and handle.deployments
+        ):
+            injector.kill_ring(handle.deployments[0])
+            failures_injected += 1
+            next_fail_day += 1
+        if upgrade_span is None and elapsed >= (UPGRADE_DAY + 0.5) * DAY_NS:
+            before = (now, traffic.stats.admitted, traffic.stats.completed)
+            report = handle.upgrade(
+                ServiceSpec(
+                    service=new_service,
+                    replicas=REPLICAS,
+                    balancing="weighted_health",
+                    request_timeout_ns=REQUEST_TIMEOUT_NS,
+                    health_period_ns=WATCHDOG_PERIOD_NS,
+                )
+            )
+            upgrade_span = {
+                "start_s": before[0] / SEC,
+                "end_s": engine.now / SEC,
+                "admitted": traffic.stats.admitted - before[1],
+                "completed": traffic.stats.completed - before[2],
+                "releases": sum(
+                    1 for a in report.actions if a.kind == "upgrade_release"
+                ),
+                "places": sum(
+                    1 for a in report.actions if a.kind == "upgrade_place"
+                ),
+            }
+    stats = done.value
+
+    tickets = manager.repairs.tickets
+    # Capacity after each repair *window*: the first sample at or after
+    # the ticket's close with no ticket open — back-to-back failures
+    # can overlap repairs, so "after the window" means the pool is out
+    # of the shop entirely, not just that one ticket closed.
+    post_repair = []
+    for ticket in tickets:
+        if ticket.closed_ns is None:
+            continue
+        later = [
+            c for t, c, open_count, _a, _co in samples
+            if t >= ticket.closed_ns and open_count == 0
+        ]
+        if later:
+            post_repair.append(later[0])
+    return {
+        "initial_capacity": initial_capacity,
+        "samples": samples,
+        "stats": stats,
+        "failures": failures_injected,
+        "tickets": tickets,
+        "post_repair": post_repair,
+        "min_capacity": min(c for _t, c, _open, _a, _co in samples),
+        "final_capacity": capacity_fraction(manager),
+        "upgrade": upgrade_span,
+        "ready": handle.status().ready_replicas,
+        "manager": manager,
+        "handle": handle,
+        "new_service": new_service,
+    }
+
+
+def run_experiment():
+    return run_week()
+
+
+def test_week_of_failures_heals_without_operator(benchmark, record):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    stats = r["stats"]
+    closed = [t for t in r["tickets"] if not t.open]
+    mean_repair_days = (
+        sum((t.closed_ns - t.opened_ns) for t in closed) / len(closed) / DAY_NS
+        if closed
+        else 0.0
+    )
+    rows = [
+        ("days simulated", DAYS),
+        ("rings (total pool)", r["manager"].scheduler.capacity_report().total_rings),
+        ("rings killed (1/day)", r["failures"]),
+        ("tickets opened", len(r["tickets"])),
+        ("tickets repaired", r["manager"].repairs.repaired_count),
+        ("mean repair time (days)", f"{mean_repair_days:.2f}"),
+        ("manual uncordon() calls", 0),
+        ("capacity min", f"{r['min_capacity']:.0%}"),
+        ("capacity after each repair", " ".join(f"{c:.0%}" for c in r["post_repair"])),
+        ("capacity end of week", f"{r['final_capacity']:.0%}"),
+        ("offered / admitted / completed",
+         f"{stats.offered:,} / {stats.admitted:,} / {stats.completed:,}"),
+        ("admission fraction", f"{stats.admission_fraction:.1%}"),
+        ("upgrade roll (replicas swapped)",
+         f"{r['upgrade']['releases']} out + {r['upgrade']['places']} in, "
+         f"{r['upgrade']['start_s']:.2f}s-{r['upgrade']['end_s']:.2f}s"),
+        ("admitted during upgrade roll", f"{r['upgrade']['admitted']:,}"),
+        ("completed during upgrade roll", f"{r['upgrade']['completed']:,}"),
+    ]
+    table = format_table(
+        ["quantity", "value"],
+        rows,
+        title=(
+            "A week of failures, zero operator calls — service tickets with a\n"
+            "lognormal repair distribution heal every capacity dip; a midweek\n"
+            "rolling upgrade swaps all replicas under traffic (§3.5 repair loop)"
+        ),
+    )
+    record("week_of_failures", table)
+
+    # The loop closed by itself: every ticket opened by a cordon was
+    # repaired inside the horizon, with zero manual uncordon calls.
+    assert r["failures"] >= (1 if SMOKE else 5)
+    assert len(r["tickets"]) == r["failures"]
+    assert r["manager"].repairs.repaired_count == len(r["tickets"])
+    assert r["manager"].scheduler.cordoned_slots == []
+    # Capacity dipped on each failure and returned to >= 95% of initial
+    # after each repair window.
+    assert r["min_capacity"] < r["initial_capacity"]
+    assert r["post_repair"]
+    assert all(c >= 0.95 * r["initial_capacity"] for c in r["post_repair"])
+    assert r["final_capacity"] >= 0.95 * r["initial_capacity"]
+    # The declared replica count survived the week.
+    assert r["ready"] == REPLICAS
+    # The rolling upgrade swapped every replica onto the new definition
+    # while traffic kept flowing: no total-outage window.
+    assert all(
+        d.service is r["new_service"] for d in r["handle"].deployments
+    )
+    assert r["upgrade"]["admitted"] > 0
+    assert r["upgrade"]["completed"] > 0
+    # Offered arrivals are fully accounted for across the whole week.
+    assert stats.offered == stats.admitted + stats.rejected
+    assert stats.completed > 0.8 * stats.offered
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced configuration (CI)"
+    )
+    args = parser.parse_args()
+    if args.smoke and not SMOKE:
+        SMOKE = True
+        DAYS = 3
+        RATE_PER_S = 1_500.0
+        UPGRADE_DAY = 1
+    r = run_week()
+    stats = r["stats"]
+    print(
+        f"days={DAYS} failures={r['failures']} "
+        f"repaired={r['manager'].repairs.repaired_count} "
+        f"capacity min={r['min_capacity']:.0%} end={r['final_capacity']:.0%} "
+        f"completed={stats.completed:,}/{stats.offered:,}"
+    )

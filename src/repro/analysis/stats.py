@@ -53,6 +53,17 @@ class LatencyStats:
     max: float
 
     @classmethod
+    def empty(cls) -> "LatencyStats":
+        """The all-zero summary of zero samples.
+
+        For windows that legitimately completed nothing (e.g. an
+        all-outage open-loop run that shed every arrival) — callers
+        that consider zero samples a bug should use
+        :meth:`from_samples`, which raises.
+        """
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, p999=0.0, max=0.0)
+
+    @classmethod
     def from_samples(cls, samples: typing.Sequence[float]) -> "LatencyStats":
         if not samples:
             raise ValueError("no samples")

@@ -13,8 +13,13 @@ Control plane
     manager wires per-pod Health Monitors to the shared Mapping
     Managers and runs health-driven reconciliation: failed rings rotate
     onto spares, exhausted rings are released (slots cordoned) and
-    re-placed on free capacity.  :class:`ClusterFailureInjector` targets
-    failures at datacenter scope for resilience experiments.
+    re-placed on free capacity.  A :class:`RepairPolicy` closes the
+    repair half of the loop — every cordon opens a
+    :class:`ServiceTicket` in the :class:`RepairQueue`, and on expiry
+    the hardware is reset and the slot un-cordoned automatically;
+    ``handle.upgrade(new_spec)`` rolls replicas onto a new service
+    definition one gang at a time.  :class:`ClusterFailureInjector`
+    targets failures at datacenter scope for resilience experiments.
 
 Mechanism
     A :class:`ClusterScheduler` places :class:`ServiceDefinition`s onto
@@ -46,6 +51,12 @@ from repro.cluster.manager import (
     ServiceHandle,
     ServiceStatus,
 )
+from repro.cluster.repair import (
+    REPAIR_DISTRIBUTIONS,
+    RepairPolicy,
+    RepairQueue,
+    ServiceTicket,
+)
 from repro.cluster.scheduler import (
     CapacityReport,
     ClusterScheduler,
@@ -76,10 +87,14 @@ __all__ = [
     "PlacementFailed",
     "ReconcileAction",
     "ReconcileReport",
+    "REPAIR_DISTRIBUTIONS",
+    "RepairPolicy",
+    "RepairQueue",
     "RequestAdapter",
     "RingSlot",
     "RingStatus",
     "ServiceHandle",
     "ServiceSpec",
     "ServiceStatus",
+    "ServiceTicket",
 ]

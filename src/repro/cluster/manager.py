@@ -19,6 +19,14 @@ failures exhausted their spares are released (their slots cordoned for
 manual service) and replacement replicas are placed on free slots; the
 per-service health watchdog automates the sweep-then-reconcile cadence
 in simulated time.
+
+Constructed with a :class:`~repro.cluster.repair.RepairPolicy`, the
+manager also closes the *repair* half of the §3.5 loop: every cordon
+opens a :class:`~repro.cluster.repair.ServiceTicket`, the ticket's
+timer models the technician, and on expiry the slot's hardware is
+reset, the slot un-cordoned, and shortfall replicas re-placed — no
+operator call anywhere.  ``handle.upgrade(new_spec)`` rides the same
+machinery for rolling in-place upgrades.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.analysis import percentile
 from repro.cluster.composite import CompositeDeployment
 from repro.cluster.deployment import Deployment
 from repro.cluster.load_balancer import LoadBalancer
+from repro.cluster.repair import RepairPolicy, RepairQueue, ServiceTicket
 from repro.cluster.scheduler import (
     CapacityReport,
     ClusterScheduler,
@@ -87,7 +96,8 @@ class ReconcileAction:
 
     service: str
     # release_unservable | release_gang_member | reshape | place |
-    # replace | scale_down | cordon | shortfall
+    # replace | scale_down | cordon | shortfall | upgrade_release |
+    # upgrade_place
     kind: str
     slot: RingSlot | None = None
     detail: str = ""
@@ -127,6 +137,7 @@ class ServiceHandle:
         self.active = True
         self._watchdog = None
         self._last_report: ReconcileReport | None = None
+        self._upgrading = False  # rolling upgrade in flight; see upgrade()
 
     @property
     def name(self) -> str:
@@ -165,6 +176,12 @@ class ServiceHandle:
             raise RuntimeError(f"service {self.name!r} has been drained")
         return self.manager.reconcile(self)
 
+    def upgrade(self, new_spec: "ServiceSpec") -> ReconcileReport:
+        """Roll every replica onto ``new_spec`` — one gang at a time."""
+        if not self.active:
+            raise RuntimeError(f"service {self.name!r} has been drained")
+        return self.manager.upgrade(self, new_spec)
+
     def status(self) -> ServiceStatus:
         return self.manager.status_of(self)
 
@@ -195,13 +212,33 @@ class ServiceHandle:
 class ClusterManager:
     """Datacenter-wide, declarative service management."""
 
-    def __init__(self, datacenter: Datacenter, default_placement: str = "spread"):
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        default_placement: str = "spread",
+        repair_policy: RepairPolicy | None = None,
+    ):
         self.datacenter = datacenter
         self.engine: Engine = datacenter.engine
         self.scheduler = ClusterScheduler(datacenter, policy=default_placement)
         self.handles: dict[str, ServiceHandle] = {}
         self.reconcile_reports: list[ReconcileReport] = []
         self._health_monitors: dict[int, HealthMonitor] = {}
+        # Convergence passes must not overlap: placing a replica spans
+        # simulated time (a ~1 s ring reconfiguration inside a nested
+        # run), during which a watchdog tick or repair callback could
+        # start a second pass that picks the same still-unmarked slot.
+        self._converging = False
+        # With a repair policy, every cordon opens a service ticket and
+        # the slot returns to the pool on its own once the ticket's
+        # timer expires — the §3.5 loop closed without an operator.
+        self.repairs: RepairQueue | None = None
+        if repair_policy is not None:
+            self.repairs = RepairQueue(
+                self.engine, datacenter, self.scheduler, policy=repair_policy
+            )
+            self.scheduler.attach_repair_queue(self.repairs)
+            self.repairs.on_repaired.append(self._on_repaired)
 
     # -- wiring ----------------------------------------------------------------
 
@@ -236,9 +273,9 @@ class ClusterManager:
             if existing.spec.service is not spec.service:
                 raise ValueError(
                     f"service {spec.name!r} is already applied with a "
-                    "different ServiceDefinition; drain the old handle "
-                    "first, or re-declare from the existing handle's spec "
-                    "(e.g. spec.with_replicas(n))"
+                    "different ServiceDefinition; use "
+                    "handle.upgrade(new_spec) for a rolling in-place "
+                    "upgrade, or drain the old handle first"
                 )
             existing.spec = spec
             existing.balancer.policy = spec.balancing
@@ -246,12 +283,16 @@ class ClusterManager:
             return existing
         deployments: list[Deployment] = []
         actions: list[ReconcileAction] = []
-        while len(deployments) < spec.replicas:
-            placed, place_actions = self._place_one(spec, kind="place")
-            actions.extend(place_actions)
-            if placed is None:
-                break
-            deployments.append(placed)
+        self._converging = True
+        try:
+            while len(deployments) < spec.replicas:
+                placed, place_actions = self._place_one(spec, kind="place")
+                actions.extend(place_actions)
+                if placed is None:
+                    break
+                deployments.append(placed)
+        finally:
+            self._converging = False
         if not deployments:
             raise InsufficientClusterCapacity(
                 f"no servable ring for service {spec.name!r}"
@@ -308,18 +349,45 @@ class ClusterManager:
         datacenter runs out of free rings the shortfall is recorded and
         the service keeps running degraded.
         """
+        if self._converging:
+            # A pass is already in flight (we are inside its nested
+            # simulated-time wait); it will converge this state, and the
+            # caller's next tick covers anything it misses.
+            return ReconcileReport(at_ns=self.engine.now, actions=())
         handles = [handle] if handle is not None else list(self.handles.values())
         actions: list[ReconcileAction] = []
-        for one in handles:
-            if one.active:
-                actions.extend(self._reconcile_one(one))
+        self._converging = True
+        try:
+            for one in handles:
+                if one.active:
+                    actions.extend(self._reconcile_one(one))
+        finally:
+            self._converging = False
         report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
         self.reconcile_reports.append(report)
         for one in handles:
             one._last_report = report
         return report
 
+    def _on_repaired(self, ticket: ServiceTicket) -> None:
+        """A service ticket closed: capacity just returned to the pool.
+
+        Reconcile every service immediately so replicas that were stuck
+        in shortfall re-place onto the recovered slot — the repair half
+        of the §3.5 loop, with no operator in it.  (The per-service
+        watchdogs would converge eventually; this closes the window.)
+        """
+        del ticket  # which slot recovered does not matter; any shortfall may use it
+        if self.handles:
+            self.reconcile()
+
     def _reconcile_one(self, handle: ServiceHandle) -> list[ReconcileAction]:
+        if handle._upgrading:
+            # A rolling upgrade owns this service's replicas right now;
+            # a concurrent pass (watchdog tick or repair callback firing
+            # inside the upgrade's nested waits) would release rings the
+            # upgrade is already iterating over.
+            return []
         actions: list[ReconcileAction] = []
         spec = handle.spec
         balancer = handle.balancer
@@ -335,7 +403,7 @@ class ClusterManager:
                 dead = member.health_weight() == 0.0
                 slot = self.scheduler.release(member)
                 if dead:
-                    self.scheduler.cordon(slot)
+                    self.scheduler.cordon(slot, reason="spares exhausted")
                 actions.append(
                     ReconcileAction(
                         spec.name,
@@ -356,39 +424,24 @@ class ClusterManager:
             handle.retired.append(victim)
         # 3. Reshape replicas whose member count no longer matches the
         # declaration (``rings_per_replica`` changed on re-apply) — one
-        # at a time, release-then-immediately-re-place, with a capacity
-        # pre-flight, so a new shape that cannot be placed degrades the
-        # service by at most one replica instead of taking every
-        # healthy old-shape replica dark at once.
+        # at a time via the shared roll step (drain, release,
+        # re-place), with a capacity pre-flight so a new shape that
+        # cannot be placed degrades the service by at most one replica
+        # instead of taking every healthy old-shape replica dark.
         for replica in list(balancer.deployments):
-            members = self._member_rings(replica)
-            if len(members) == spec.rings_per_replica:
+            if len(self._member_rings(replica)) == spec.rings_per_replica:
                 continue
-            free = len(self.scheduler.free_slots())
-            if free + len(members) < spec.rings_per_replica:
-                # The new shape cannot possibly fit even reusing this
-                # replica's own slots: keep the old shape serving.
-                actions.append(
-                    ReconcileAction(
-                        spec.name,
-                        "shortfall",
-                        None,
-                        detail=(
-                            f"reshape to {spec.rings_per_replica} rings "
-                            f"needs more capacity ({free} free)"
-                        ),
-                    )
-                )
-                continue
-            for slot in self._release_replica(replica):
-                actions.append(ReconcileAction(spec.name, "reshape", slot))
-            balancer.deployments.remove(replica)
-            handle.retired.append(replica)
-            placed, place_actions = self._place_one(spec, kind="replace")
-            actions.extend(place_actions)
-            if placed is None:
+            outcome = self._roll_one(
+                handle,
+                replica,
+                verb="reshape",
+                kind_release="reshape",
+                kind_place="replace",
+                bound_ns=spec.request_timeout_ns,
+                actions=actions,
+            )
+            if outcome == "capacity":
                 break  # capacity raced away; step 4 records the rest
-            balancer.deployments.append(placed)
         # 4. Scale up / replace until the declared count is restored.
         while len(balancer.deployments) < spec.replicas:
             placed, place_actions = self._place_one(spec, kind="replace")
@@ -397,6 +450,63 @@ class ClusterManager:
                 break
             balancer.deployments.append(placed)
         return actions
+
+    def _roll_one(
+        self,
+        handle: ServiceHandle,
+        replica,
+        verb: str,
+        kind_release: str,
+        kind_place: str,
+        bound_ns: float,
+        actions: list,
+    ) -> str:
+        """One rolling step shared by reshape and upgrade: drain a
+        replica out of rotation, release its rings, re-place at the
+        live spec's shape.
+
+        Returns ``"kept"`` when the capacity pre-flight shows the new
+        shape cannot possibly fit even reusing this replica's own slots
+        (the old replica stays serving, a shortfall is recorded),
+        ``"rolled"`` on success, and ``"capacity"`` when placement
+        failed *after* the release (the caller should stop rolling
+        further healthy replicas; the scale-up pass records the delta).
+        """
+        spec = handle.spec
+        balancer = handle.balancer
+        members = self._member_rings(replica)
+        free = len(self.scheduler.free_slots())
+        if free + len(members) < spec.rings_per_replica:
+            actions.append(
+                ReconcileAction(
+                    spec.name,
+                    "shortfall",
+                    None,
+                    detail=(
+                        f"{verb} to {spec.rings_per_replica} rings "
+                        f"needs more capacity ({free} free); "
+                        "old replica kept in rotation"
+                    ),
+                )
+            )
+            return "kept"
+        # Drain: out of the rotation first so the balancer sends no new
+        # work, then let in-flight requests resolve before the rings
+        # are released (bounded — a dead ring's stragglers resolve as
+        # timeouts and divert on release, the §3.2 behavior).
+        balancer.deployments.remove(replica)
+        self._quiesce(replica, bound_ns=bound_ns)
+        for slot in self._release_replica(replica):
+            actions.append(ReconcileAction(spec.name, kind_release, slot))
+        handle.retired.append(replica)
+        if len(balancer.deployments) >= spec.replicas:
+            return "rolled"  # rolling past a scale-down: nothing to place
+        placed, place_actions = self._place_one(spec, kind=kind_place)
+        actions.extend(place_actions)
+        if placed is None:
+            return "capacity"
+        balancer.deployments.append(placed)
+        return "rolled"
 
     def _place_one(
         self, spec: "ServiceSpec", kind: str
@@ -433,7 +543,9 @@ class ClusterManager:
             except PlacementFailed as failure:
                 # The chosen slot turned out to have bad hardware the
                 # scheduler had no record of; hold it out and retry.
-                self.scheduler.cordon(failure.slot)
+                self.scheduler.cordon(
+                    failure.slot, reason=f"configure failed: {failure.cause}"
+                )
                 actions.append(
                     ReconcileAction(
                         spec.name, "cordon", failure.slot, detail=str(failure.cause)
@@ -462,6 +574,111 @@ class ClusterManager:
                 )
             )
             return placed, actions
+
+    # -- rolling in-place upgrades ---------------------------------------------
+
+    def upgrade(self, handle: ServiceHandle, new_spec: "ServiceSpec") -> ReconcileReport:
+        """Reconfigure a live service onto ``new_spec``, one replica at
+        a time — the paper's headline reconfigurability scenario: the
+        same machines, a new accelerator, no service-wide downtime.
+
+        Each rolling step takes one replica (a single ring or a whole
+        gang) out of the front-end rotation, waits for its in-flight
+        requests to drain (bounded by the old request timeout — a dead
+        ring's stragglers resolve as timeouts), releases its rings, and
+        re-places a replacement under the new declaration — new
+        :class:`~repro.services.mapping_manager.ServiceDefinition`,
+        placement policy, shape, and slot count all honoured, since
+        re-placement is the ordinary placement path.  The remaining
+        replicas keep serving throughout, so offered traffic sees a
+        capacity dip of one replica, never an outage (provided the
+        service declares more than one replica).
+
+        Unlike ``apply()``, which refuses a changed
+        ``ServiceDefinition``, this is the intended way to ship a new
+        image fleet-wide.  Returns the reconcile report covering the
+        whole roll.  If capacity runs out mid-roll (``shortfall``
+        actions in the report), the replicas not yet rolled keep
+        serving the *old* definition — re-run ``upgrade`` once capacity
+        returns (e.g. after a repair ticket closes) to finish the roll.
+        """
+        if not handle.active:
+            raise RuntimeError(f"service {handle.name!r} has been drained")
+        if self.handles.get(handle.name) is not handle:
+            raise ValueError(f"{handle.name!r} is not managed by this manager")
+        if new_spec.name != handle.name:
+            raise ValueError(
+                f"an upgrade keeps the service name: handle is "
+                f"{handle.name!r}, new spec is {new_spec.name!r} "
+                "(declare a differently named spec with apply())"
+            )
+        if self._converging:
+            raise RuntimeError(
+                "another convergence pass is in flight; upgrade() is a "
+                "top-level operator action"
+            )
+        # In-flight requests dispatched before the roll carry the OLD
+        # spec's timeout; those dispatched during it carry the new one.
+        # The drain bound must honour whichever is longer, or requests
+        # with a legitimately longer budget are spuriously diverted.
+        drain_bound_ns = max(
+            handle.spec.request_timeout_ns, new_spec.request_timeout_ns
+        )
+        handle.spec = new_spec
+        handle.balancer.policy = new_spec.balancing
+        balancer = handle.balancer
+        actions: list[ReconcileAction] = []
+        handle._upgrading = True
+        self._converging = True
+        try:
+            for replica in list(balancer.deployments):
+                outcome = self._roll_one(
+                    handle,
+                    replica,
+                    verb="upgrade",
+                    kind_release="upgrade_release",
+                    kind_place="upgrade_place",
+                    bound_ns=drain_bound_ns,
+                    actions=actions,
+                )
+                if outcome == "capacity":
+                    # Capacity raced away mid-roll (e.g. configure
+                    # failures cordoned the freed slots): stop
+                    # releasing healthy old replicas; the final
+                    # reconcile pass records the remaining delta.
+                    break
+            # Converge any remaining delta: scale-up past the old
+            # replica count, or shortfall bookkeeping if capacity ran
+            # out mid-roll.  Still inside the guard — a watchdog tick
+            # must not start a competing pass mid-placement.
+            handle._upgrading = False
+            actions.extend(self._reconcile_one(handle))
+        finally:
+            handle._upgrading = False
+            self._converging = False
+        report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
+        self.reconcile_reports.append(report)
+        handle._last_report = report
+        return report
+
+    def _quiesce(self, replica, bound_ns: float, poll_ns: float = 50 * US) -> None:
+        """Wait (in simulated time) until ``replica`` has no in-flight
+        requests, bounded by ``bound_ns`` — every dispatched request
+        resolves within its timeout, so the bound only bites when a
+        ring died with stragglers (which then divert as timeouts on
+        release, the §3.2 behavior)."""
+        if replica.outstanding == 0:
+            return
+        deadline = self.engine.now + bound_ns + poll_ns
+        done = self.engine.event(name=f"drain:{replica.name}")
+
+        def body() -> typing.Generator:
+            while replica.outstanding > 0 and self.engine.now < deadline:
+                yield self.engine.timeout(poll_ns)
+            done.succeed()
+
+        self.engine.process(body(), name=f"cluster.drain:{replica.name}")
+        self.engine.run_until(done)
 
     # -- health watchdog -------------------------------------------------------
 

@@ -1,0 +1,240 @@
+"""The hardware-lifecycle subsystem: service tickets and timed repair.
+
+The paper's §3.5 failure handling is a *loop*, not a one-way valve:
+the Health Monitor diagnoses, the Mapping Manager maps out the bad
+hardware, "a service ticket is raised to replace the faulty
+components" — and once the technician swaps the card, the capacity
+returns to the pool.  The control plane so far implemented only the
+first half; a cordoned slot stayed cordoned until an operator called
+``uncordon()`` by hand, so long experiments bled capacity forever.
+
+This module closes the loop.  A :class:`RepairQueue` opens a
+:class:`ServiceTicket` whenever a slot is cordoned (the scheduler
+notifies an attached queue) or when deployment-time manufacturing
+tests find failed cards.  Each ticket draws a repair time from a
+configurable :class:`RepairPolicy` distribution — deterministic via
+the sim RNG — and on expiry the queue performs the technician's visit:
+it resets the slot's hardware
+(:meth:`~repro.fabric.datacenter.Datacenter.service_ring`), un-cordons
+the slot through the scheduler, and fires its ``on_repaired``
+callbacks so the :class:`~repro.cluster.manager.ClusterManager` can
+immediately reconcile shortfall replicas onto the recovered capacity.
+
+Repair-time distributions:
+
+``fixed``
+    Every repair takes exactly ``mean_ns`` — the analytic baseline.
+
+``lognormal``
+    Right-skewed service times (most swaps are quick, a few wait on
+    parts), parameterised so the distribution's mean is ``mean_ns``
+    with log-space shape ``sigma``.
+
+``batched``
+    The "weekly truck roll": tickets wait until the next multiple of
+    ``batch_period_ns`` on the simulation clock and are all serviced
+    on that visit — the cheapest real-world staffing model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.fabric.datacenter import Datacenter, ManufacturingReport, RingSlot
+from repro.sim import Engine
+from repro.sim.units import DAY, HOUR
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.scheduler import ClusterScheduler
+
+REPAIR_DISTRIBUTIONS = ("fixed", "lognormal", "batched")
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairPolicy:
+    """How long cordoned hardware waits for its technician."""
+
+    distribution: str = "fixed"
+    mean_ns: float = 4 * HOUR
+    sigma: float = 0.5  # lognormal log-space shape
+    batch_period_ns: float = 7 * DAY  # truck-roll cadence
+
+    def __post_init__(self) -> None:
+        if self.distribution not in REPAIR_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown repair distribution {self.distribution!r}; "
+                f"choose from {REPAIR_DISTRIBUTIONS}"
+            )
+        if self.mean_ns <= 0:
+            raise ValueError(f"mean repair time must be positive, got {self.mean_ns}")
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+        if self.batch_period_ns <= 0:
+            raise ValueError(
+                f"batch period must be positive, got {self.batch_period_ns}"
+            )
+
+    def repair_delay_ns(self, rng, now_ns: float) -> float:
+        """Time from ticket open until the repair completes."""
+        if self.distribution == "fixed":
+            return self.mean_ns
+        if self.distribution == "lognormal":
+            # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = mean_ns.
+            mu = math.log(self.mean_ns) - self.sigma * self.sigma / 2.0
+            return rng.lognormvariate(mu, self.sigma)
+        # batched: the next truck-roll instant strictly after now.
+        remainder = now_ns % self.batch_period_ns
+        return self.batch_period_ns - remainder
+
+
+@dataclasses.dataclass
+class ServiceTicket:
+    """One open item of manual service: a ring awaiting its technician."""
+
+    ticket_id: int
+    slot: RingSlot
+    reason: str
+    opened_ns: float
+    due_ns: float
+    closed_ns: float | None = None
+    outcome: str = ""  # "repaired" | "cancelled" once closed
+    components_serviced: int = 0
+
+    @property
+    def open(self) -> bool:
+        return self.closed_ns is None
+
+
+class RepairQueue:
+    """Opens, times, and resolves service tickets for cordoned slots."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        datacenter: Datacenter,
+        scheduler: "ClusterScheduler",
+        policy: RepairPolicy | None = None,
+        stream: str = "repair",
+    ):
+        self.engine = engine
+        self.datacenter = datacenter
+        self.scheduler = scheduler
+        self.policy = policy or RepairPolicy()
+        self.tickets: list[ServiceTicket] = []
+        self.on_repaired: list[typing.Callable[[ServiceTicket], None]] = []
+        self._open_by_slot: dict[RingSlot, ServiceTicket] = {}
+        self._rng = engine.rng.stream(stream)
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    def open_tickets(self) -> list[ServiceTicket]:
+        return [ticket for ticket in self.tickets if ticket.open]
+
+    @property
+    def closed_tickets(self) -> list[ServiceTicket]:
+        return [ticket for ticket in self.tickets if not ticket.open]
+
+    @property
+    def repaired_count(self) -> int:
+        return sum(1 for t in self.tickets if t.outcome == "repaired")
+
+    def next_due_ns(self) -> float | None:
+        """When the earliest open ticket resolves (None when idle)."""
+        pending = self.open_tickets
+        return min(ticket.due_ns for ticket in pending) if pending else None
+
+    def ticket_for(self, slot: RingSlot) -> ServiceTicket | None:
+        """The open ticket covering ``slot``, if any."""
+        return self._open_by_slot.get(slot)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def open_ticket(self, slot: RingSlot, reason: str = "") -> ServiceTicket:
+        """Raise a service ticket for ``slot`` (idempotent per slot).
+
+        The repair timer starts immediately; when it expires the queue
+        services the ring's hardware, un-cordons the slot, and invokes
+        the ``on_repaired`` callbacks.
+        """
+        existing = self._open_by_slot.get(slot)
+        if existing is not None:
+            return existing
+        now = self.engine.now
+        ticket = ServiceTicket(
+            ticket_id=len(self.tickets),
+            slot=slot,
+            reason=reason,
+            opened_ns=now,
+            due_ns=now + self.policy.repair_delay_ns(self._rng, now),
+        )
+        self.tickets.append(ticket)
+        self._open_by_slot[slot] = ticket
+        # Daemon: a pending repair must not keep a bare run() alive
+        # after the workload under test has finished.
+        self.engine.process(
+            self._repair_body(ticket),
+            name=f"repair:{slot.pod_id}/{slot.ring_x}",
+            daemon=True,
+        )
+        return ticket
+
+    def cancel(self, slot: RingSlot) -> ServiceTicket | None:
+        """Close ``slot``'s open ticket without servicing the hardware
+        (an operator un-cordoned the slot out-of-band)."""
+        ticket = self._open_by_slot.pop(slot, None)
+        if ticket is not None:
+            ticket.closed_ns = self.engine.now
+            ticket.outcome = "cancelled"
+        return ticket
+
+    def open_from_manufacturing(
+        self, report: ManufacturingReport, reason: str = "manufacturing test"
+    ) -> list[ServiceTicket]:
+        """Ticket every ring the deployment-time tests flagged (§2.3).
+
+        Each failed card site is marked failed on the physical FPGA (so
+        nothing can configure it meanwhile), its slot is cordoned, and
+        a ticket is opened for the swap.  A flagged slot that is
+        already *occupied* cannot be cordoned out from under its
+        deployment; it is left to the ordinary failure loop — the
+        health sweep will diagnose the failed card, map it out, and
+        cordon (thereby ticketing) the slot if the ring exhausts its
+        spares.
+        """
+        tickets = []
+        for slot, node in report.failed_card_sites:
+            server = self.datacenter.pod(slot.pod_id).server_at(node)
+            server.fpga.mark_failed()
+        for slot in report.failed_card_slots:
+            if self.scheduler.is_occupied(slot):
+                continue
+            if slot not in self.scheduler.cordoned_slots:
+                # cordon() notifies an attached queue; open_ticket()
+                # below is then a deduplicating no-op.
+                self.scheduler.cordon(slot, reason=reason)
+            tickets.append(self.open_ticket(slot, reason=reason))
+        return tickets
+
+    # -- the technician --------------------------------------------------------
+
+    def _repair_body(self, ticket: ServiceTicket) -> typing.Generator:
+        yield self.engine.timeout(ticket.due_ns - self.engine.now)
+        if not ticket.open:
+            return  # cancelled (manual uncordon) while waiting
+        self._open_by_slot.pop(ticket.slot, None)
+        ticket.closed_ns = self.engine.now
+        ticket.outcome = "repaired"
+        ticket.components_serviced = self.datacenter.service_ring(ticket.slot)
+        if ticket.slot in self.scheduler.cordoned_slots:
+            self.scheduler.uncordon(ticket.slot)
+        for callback in list(self.on_repaired):
+            callback(ticket)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RepairQueue {self.policy.distribution} "
+            f"open={len(self.open_tickets)} closed={len(self.closed_tickets)}>"
+        )

@@ -23,6 +23,7 @@ Placement policies:
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 from repro.cluster.deployment import Deployment, RequestAdapter
 from repro.fabric.datacenter import Datacenter, RingSlot
@@ -32,6 +33,9 @@ from repro.services.mapping_manager import (
     MappingManager,
     ServiceDefinition,
 )
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.repair import RepairQueue
 
 PLACEMENT_POLICIES = ("spread", "pack")
 
@@ -64,16 +68,31 @@ class PlacementDecision:
 
 @dataclasses.dataclass(frozen=True)
 class CapacityReport:
-    """Ring-granular capacity accounting for the whole datacenter."""
+    """Ring-granular capacity accounting for the whole datacenter.
+
+    Repair-aware: when a :class:`~repro.cluster.repair.RepairQueue` is
+    attached, ``open_tickets`` counts the cordoned rings with a repair
+    in flight and ``next_repair_due_ns`` is when the earliest of them
+    returns to the pool — so capacity planners can distinguish "gone"
+    from "coming back, and when".
+    """
 
     total_rings: int
     occupied_rings: int
     total_spare_nodes: int
     cordoned_rings: int = 0  # held out pending manual service
+    open_tickets: int = 0  # cordoned rings with a repair in flight
+    next_repair_due_ns: float | None = None
 
     @property
     def free_rings(self) -> int:
         return self.total_rings - self.occupied_rings - self.cordoned_rings
+
+    @property
+    def serviceable_rings(self) -> int:
+        """Rings that are, or will be after repair, available: everything
+        except cordoned rings nobody has a ticket for."""
+        return self.free_rings + self.occupied_rings + self.open_tickets
 
     @property
     def utilization(self) -> float:
@@ -94,9 +113,10 @@ class ClusterScheduler:
         self.policy = policy
         self.decisions: list[PlacementDecision] = []
         self._occupied: dict[RingSlot, Deployment] = {}
-        self._cordoned: set[RingSlot] = set()
+        self._cordoned: dict[RingSlot, str] = {}  # slot -> cordon reason
         self._mapping_managers: dict[int, MappingManager] = {}
         self._next_pod_id = 0  # spread policy's round-robin cursor
+        self.repair_queue: "RepairQueue | None" = None
 
     # -- resource view ---------------------------------------------------------
 
@@ -114,21 +134,64 @@ class ClusterScheduler:
             if slot not in self._occupied and slot not in self._cordoned
         ]
 
-    def cordon(self, slot: RingSlot) -> None:
-        """Hold ``slot`` out of placement (bad hardware awaiting service)."""
+    def attach_repair_queue(self, queue: "RepairQueue") -> None:
+        """Ticket every cordon through ``queue`` from now on.
+
+        With a queue attached, :meth:`cordon` opens a
+        :class:`~repro.cluster.repair.ServiceTicket` and the repaired
+        slot returns to the pool when the ticket's timer expires — no
+        operator :meth:`uncordon` required.  Slots already cordoned at
+        attach time are ticketed immediately (they were waiting for
+        exactly this).
+        """
+        if self.repair_queue is not None and self.repair_queue is not queue:
+            raise RuntimeError("a repair queue is already attached")
+        self.repair_queue = queue
+        for slot, reason in self._cordoned.items():
+            queue.open_ticket(slot, reason=reason)
+
+    def cordon(self, slot: RingSlot, reason: str = "") -> None:
+        """Hold ``slot`` out of placement (bad hardware awaiting service).
+
+        Cordoning an occupied or unknown slot raises: an occupied slot
+        counts against ``occupied_rings`` already, so also counting it
+        cordoned would double-subtract from ``free_rings`` (release it
+        first), and an unknown slot is a caller bug.  With a repair
+        queue attached a service ticket is opened for the slot.
+        """
         if slot not in self.datacenter.ring_slots():
             raise ValueError(f"{slot} is not a ring of this datacenter")
         if slot in self._occupied:
             raise ValueError(f"{slot} is occupied; release it first")
-        self._cordoned.add(slot)
+        self._cordoned.setdefault(slot, reason)
+        if self.repair_queue is not None:
+            self.repair_queue.open_ticket(slot, reason=reason)
 
     def uncordon(self, slot: RingSlot) -> None:
-        """Return a cordoned slot to the placement pool (post-repair)."""
-        self._cordoned.discard(slot)
+        """Return a cordoned slot to the placement pool (post-repair).
+
+        Raises ``KeyError`` for a slot that is not cordoned — silently
+        ignoring it let typos pass unnoticed mid-experiment.  A manual
+        uncordon cancels the slot's open service ticket, if any (the
+        operator serviced it out-of-band).
+        """
+        if slot not in self._cordoned:
+            raise KeyError(f"{slot} is not cordoned")
+        del self._cordoned[slot]
+        if self.repair_queue is not None:
+            self.repair_queue.cancel(slot)
+
+    def cordon_reason(self, slot: RingSlot) -> str:
+        """Why ``slot`` is cordoned (raises ``KeyError`` if it is not)."""
+        return self._cordoned[slot]
 
     @property
     def cordoned_slots(self) -> list[RingSlot]:
         return sorted(self._cordoned)
+
+    def is_occupied(self, slot: RingSlot) -> bool:
+        """Whether a deployment currently holds ``slot``."""
+        return slot in self._occupied
 
     def slot_of(self, deployment: Deployment) -> RingSlot:
         """The ring slot ``deployment`` occupies."""
@@ -141,6 +204,7 @@ class ClusterScheduler:
         return [self._occupied[slot] for slot in sorted(self._occupied)]
 
     def capacity_report(self) -> CapacityReport:
+        queue = self.repair_queue
         return CapacityReport(
             total_rings=self.datacenter.total_rings,
             occupied_rings=len(self._occupied),
@@ -148,6 +212,8 @@ class ClusterScheduler:
                 deployment.spare_count for deployment in self._occupied.values()
             ),
             cordoned_rings=len(self._cordoned),
+            open_tickets=len(queue.open_tickets) if queue is not None else 0,
+            next_repair_due_ns=queue.next_due_ns() if queue is not None else None,
         )
 
     # -- placement -------------------------------------------------------------

@@ -17,12 +17,14 @@ import dataclasses
 
 from repro.fabric.ethernet import EthernetNetwork
 from repro.fabric.pod import Pod
+from repro.fabric.server import ServerState
 from repro.fabric.torus import TorusTopology
 from repro.hardware.constants import (
     CARD_FAILURE_RATE,
     LINK_FAILURE_RATE,
     PODS_DEPLOYED,
 )
+from repro.hardware.fpga import FpgaState
 from repro.shell.shell import ShellConfig
 from repro.sim import Engine
 
@@ -174,6 +176,60 @@ class Datacenter:
                 )
         gap = abs(a - b)
         return min(gap, self.num_pods - gap)
+
+    # -- manual service (§3.5: "a service ticket is raised") -------------------
+
+    def service_ring(self, slot: RingSlot) -> int:
+        """One technician visit to ring ``slot``: swap every broken
+        component back to factory state.
+
+        Models the paper's repair half of the failure loop — after the
+        Mapping Manager maps out bad hardware "a service ticket is
+        raised to replace the faulty components" (§3.5).  Dead or
+        crashed servers are replaced (which also replaces their FPGA
+        card), failed/unlocked/over-temperature FPGAs get a fresh card,
+        miscalibrated DIMMs are reseated, and dark cables touching the
+        ring — individually broken links and whole failed assemblies —
+        are re-plugged.  Returns the number of components serviced.
+        Serviced hardware comes back *unconfigured*; the next deploy of
+        the slot reimages it.
+        """
+        pod = self.pod(slot.pod_id)
+        ring_nodes = set(self.topology.ring(slot.ring_x))
+        serviced = 0
+        for node in ring_nodes:
+            server = pod.server_at(node)
+            fpga = server.fpga
+            if (
+                server.state is not ServerState.UP
+                or fpga.state is FpgaState.FAILED
+                or not fpga.pll_locked
+                or fpga.temp_shutdown
+            ):
+                server.replace()
+                serviced += 1
+            for controller in server.shell.dram:
+                if controller.health.calibration_failed:
+                    controller.recalibrate()
+                    serviced += 1
+        # Cables: pod.links is built in wiring order, so each link's
+        # wire spec identifies the nodes it connects.
+        for assembly in pod.assemblies.values():
+            if assembly.failed and self._assembly_touches(pod, assembly, ring_nodes):
+                assembly.repair()
+                serviced += 1
+        for (src, _sp, dst, _dp), link in zip(pod.wiring.wires, pod.links):
+            if link.broken and (src in ring_nodes or dst in ring_nodes):
+                link.repair_cable()
+                serviced += 1
+        return serviced
+
+    @staticmethod
+    def _assembly_touches(pod: Pod, assembly, ring_nodes: set) -> bool:
+        for (src, _sp, dst, _dp), link in zip(pod.wiring.wires, pod.links):
+            if link in assembly.links and (src in ring_nodes or dst in ring_nodes):
+                return True
+        return False
 
     # -- §2.3 manufacturing statistics ------------------------------------------
 

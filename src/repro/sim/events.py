@@ -144,6 +144,12 @@ class _Condition(Event):
     def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
         super().__init__(engine, name=self.__class__.__name__)
         self.events = list(events)
+        # Count satisfied children instead of rescanning the whole list
+        # on every child trigger: a condition over N events is O(N)
+        # total, not O(N^2) — an open-loop run awaits an AllOf over one
+        # child per admitted arrival, where the rescan dominated long-
+        # horizon experiments.
+        self._ok_count = 0
         if not self.events:
             self.succeed(ConditionValue())
             return
@@ -161,6 +167,7 @@ class _Condition(Event):
         if not event.ok:
             self.fail(event.exception)  # type: ignore[arg-type]
             return
+        self._ok_count += 1
         if self._is_satisfied():
             self.succeed(self._collect())
 
@@ -179,11 +186,11 @@ class AllOf(_Condition):
     """Succeeds when every child event has succeeded."""
 
     def _is_satisfied(self) -> bool:
-        return all(event.ok for event in self.events)
+        return self._ok_count >= len(self.events)
 
 
 class AnyOf(_Condition):
     """Succeeds when at least one child event has succeeded."""
 
     def _is_satisfied(self) -> bool:
-        return any(event.ok for event in self.events)
+        return self._ok_count >= 1

@@ -8,6 +8,9 @@ NS = 1.0
 US = 1_000.0
 MS = 1_000_000.0
 SEC = 1_000_000_000.0
+MIN = 60.0 * SEC
+HOUR = 60.0 * MIN
+DAY = 24.0 * HOUR
 
 
 def cycles_to_ns(cycles: float, clock_mhz: float) -> float:

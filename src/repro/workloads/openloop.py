@@ -125,9 +125,21 @@ class OpenLoopStats:
 
     @property
     def admission_fraction(self) -> float:
+        """Admitted share of offered arrivals; 0.0 for a zero-arrival
+        window (an all-outage run must summarise, not raise)."""
         return self.admitted / self.offered if self.offered else 0.0
 
+    @property
+    def completion_fraction(self) -> float:
+        """Completed share of offered arrivals (0.0 when none offered)."""
+        return self.completed / self.offered if self.offered else 0.0
+
     def stats(self) -> LatencyStats:
+        """Latency summary — empty-safe: a window during which every
+        arrival was shed (total outage) reports the zero summary
+        instead of raising on the empty sample set."""
+        if not self.latencies_ns:
+            return LatencyStats.empty()
         return LatencyStats.from_samples(self.latencies_ns)
 
 

@@ -132,6 +132,71 @@ def test_capacity_report_and_release():
         scheduler.release(deployments[0])
 
 
+# --- cordon accounting (repair-loop regressions) -------------------------------------
+
+
+def test_cordon_rejects_occupied_and_unknown_slots():
+    """Regression: cordoning an occupied ring would leave it in both
+    ``_occupied`` and the cordon set, double-subtracting from
+    ``free_rings``; an unknown slot is a caller bug either way."""
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc)
+    (deployment,) = scheduler.deploy(echo_service(), rings=1)
+    occupied_slot = scheduler.slot_of(deployment)
+    with pytest.raises(ValueError):
+        scheduler.cordon(occupied_slot)
+    with pytest.raises(ValueError):
+        scheduler.cordon(RingSlot(99, 0))
+    # The rejected calls left the books untouched.
+    report = scheduler.capacity_report()
+    assert report.cordoned_rings == 0
+    assert report.free_rings == report.total_rings - 1
+
+
+def test_uncordon_rejects_unknown_slot():
+    """Regression: ``uncordon`` silently ``discard``-ed slots that were
+    never cordoned, letting typos pass unnoticed mid-experiment."""
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc)
+    with pytest.raises(KeyError):
+        scheduler.uncordon(RingSlot(0, 1))
+    scheduler.cordon(RingSlot(0, 1), reason="flaky card")
+    assert scheduler.cordon_reason(RingSlot(0, 1)) == "flaky card"
+    scheduler.uncordon(RingSlot(0, 1))
+    with pytest.raises(KeyError):
+        scheduler.uncordon(RingSlot(0, 1))  # second uncordon is a bug too
+
+
+def test_capacity_report_invariant_under_cordon_churn():
+    """free + occupied + cordoned == total, and free never negative,
+    through deploy / cordon / release / uncordon churn."""
+    _eng, dc = small_datacenter()
+    scheduler = ClusterScheduler(dc)
+
+    def check():
+        report = scheduler.capacity_report()
+        assert report.free_rings >= 0
+        assert (
+            report.free_rings + report.occupied_rings + report.cordoned_rings
+            == report.total_rings
+        )
+        return report
+
+    deployments = scheduler.deploy(echo_service(), rings=2)
+    check()
+    scheduler.cordon(RingSlot(1, 1))
+    check()
+    freed = scheduler.release(deployments[0])
+    check()
+    scheduler.cordon(freed)
+    report = check()
+    assert report.cordoned_rings == 2
+    scheduler.uncordon(freed)
+    scheduler.uncordon(RingSlot(1, 1))
+    report = check()
+    assert report.cordoned_rings == 0
+
+
 def test_ring_slot_enumeration_is_lazy():
     _eng, dc = small_datacenter()
     assert len(dc.ring_slots()) == dc.total_rings == 4
@@ -319,6 +384,63 @@ def test_different_seed_changes_arrivals():
     _, stats_a = full_cluster_run(seed=1)
     _, stats_b = full_cluster_run(seed=2)
     assert stats_a.latencies_ns != stats_b.latencies_ns
+
+
+def repair_loop_run(seed):
+    """A failure + timed-repair scenario, summarised for comparison."""
+    from repro.cluster import (
+        ClusterFailureInjector,
+        ClusterManager,
+        RepairPolicy,
+        ServiceSpec,
+    )
+    from repro.cluster import echo_service as shared_echo_service
+    from repro.sim.units import SEC
+
+    eng, dc = small_datacenter(seed=seed)
+    manager = ClusterManager(
+        dc,
+        repair_policy=RepairPolicy(
+            distribution="lognormal", mean_ns=1.5 * SEC, sigma=0.6
+        ),
+    )
+    handle = manager.apply(
+        ServiceSpec(
+            service=shared_echo_service(),
+            replicas=2,
+            health_period_ns=0.2 * SEC,
+        )
+    )
+    injector = ClusterFailureInjector(dc)
+    injector.kill_ring(handle.deployments[0])
+    eng.run(until=10 * SEC)
+    tickets = [
+        (t.slot, t.opened_ns, t.due_ns, t.closed_ns, t.outcome)
+        for t in manager.repairs.tickets
+    ]
+    placements = [
+        (d.service, d.slot.pod_id, d.slot.ring_x)
+        for d in manager.scheduler.decisions
+    ]
+    return tickets, placements
+
+
+def test_repair_loop_is_deterministic():
+    """Same seed => identical ticket open/close times AND identical
+    post-repair placements; the repair timers draw from the engine's
+    named RNG streams like everything else."""
+    tickets_a, placements_a = repair_loop_run(seed=77)
+    tickets_b, placements_b = repair_loop_run(seed=77)
+    assert tickets_a == tickets_b
+    assert placements_a == placements_b
+    assert tickets_a  # the scenario actually opened (and closed) tickets
+    assert all(outcome == "repaired" for *_rest, outcome in tickets_a)
+
+
+def test_repair_times_vary_with_seed():
+    tickets_a, _ = repair_loop_run(seed=5)
+    tickets_b, _ = repair_loop_run(seed=6)
+    assert [t[2] - t[1] for t in tickets_a] != [t[2] - t[1] for t in tickets_b]
 
 
 # --- ranking on the cluster layer ----------------------------------------------------

@@ -302,11 +302,13 @@ def test_reapply_with_new_rings_per_replica_reshapes_replicas():
     assert stats.completed == 20
 
 
-def test_in_flight_request_survives_gang_release_mid_chain():
-    """Regression: a request sitting in the inter-stage hop when its
-    gang was released (reshape / scale-down / reconcile) used to crash
-    with RuntimeError('submit() after release'); it must be diverted
-    as a timeout instead (§3.2)."""
+def test_in_flight_request_drains_before_gang_release():
+    """A request in flight when its gang is reshaped away now *drains*:
+    the roll step takes the replica out of rotation, waits for in-flight
+    requests to resolve (bounded by the spec's request timeout), and
+    only then releases the rings — the request completes instead of
+    being diverted.  (Originally a crash regression: mid-hop release
+    raised RuntimeError('submit() after release').)"""
     eng, dc, manager = small_cluster(pods=3)
     service = echo_service()
     handle = manager.apply(
@@ -330,6 +332,51 @@ def test_in_flight_request_survives_gang_release_mid_chain():
     eng.run(until=started + 1 * MS)  # stage 0 done, mid-hop
     manager.apply(  # reshape to single rings: releases the gang
         ServiceSpec(service=service, replicas=1, health_period_ns=5e9)
+    )
+    assert replica.members[0].released
+    eng.run()
+    # The drain let the in-flight request finish before the release.
+    assert len(results) == 1 and results[0] is not None
+    assert replica.timeouts == 0
+    assert replica.outstanding == 0
+
+
+def test_in_flight_request_diverts_when_drain_bound_expires():
+    """Regression (the §3.2 divert path): a request that outlives the
+    drain bound is released mid-hop and must divert as a timeout — not
+    crash with RuntimeError('submit() after release')."""
+    eng, dc, manager = small_cluster(pods=3)
+    service = echo_service()
+    handle = manager.apply(
+        ServiceSpec(
+            service=service,
+            replicas=1,
+            rings_per_replica=2,
+            health_period_ns=5e9,
+            request_timeout_ns=10 * MS,  # the reshape drain bound
+        )
+    )
+    (replica,) = handle.deployments
+    replica.hop_delays_ns = [30 * MS]  # longer than the drain bound
+    results = []
+
+    def driver():
+        # The caller granted more budget than the spec's bound; the
+        # drain gives up first and the release finds the request still
+        # between stages.
+        response = yield from replica.submit(object(), timeout_ns=50 * MS)
+        results.append(response)
+
+    started = eng.now
+    eng.process(driver())
+    eng.run(until=started + 1 * MS)  # stage 0 done, mid-hop
+    manager.apply(  # reshape to single rings: releases the gang
+        ServiceSpec(
+            service=service,
+            replicas=1,
+            health_period_ns=5e9,
+            request_timeout_ns=10 * MS,
+        )
     )
     assert replica.members[0].released
     eng.run()

@@ -179,6 +179,23 @@ def test_open_loop_admission_control_sheds():
     assert stats.rejected == 25
 
 
+def test_open_loop_stats_survive_zero_arrival_window():
+    """Regression: summarising a window with zero arrivals (or a total
+    outage that shed every arrival) must report zeros, not raise."""
+    from repro.workloads.openloop import OpenLoopStats
+
+    empty = OpenLoopStats()
+    assert empty.admission_fraction == 0.0
+    assert empty.completion_fraction == 0.0
+    summary = empty.stats()
+    assert summary.count == 0
+    assert summary.p99 == 0.0
+
+    all_shed = OpenLoopStats(offered=10, admitted=0, rejected=10)
+    assert all_shed.admission_fraction == 0.0
+    assert all_shed.stats().count == 0
+
+
 def test_open_loop_validates_inputs():
     eng = Engine()
     sink = ImmediateSink()
