@@ -1,0 +1,208 @@
+"""Engine throughput on the reference open-loop scenario.
+
+One million open-loop arrivals are offered to a cluster of echo
+servers; every request is admission-checked, queued, served, and raced
+against a per-request guard deadline that is disarmed on completion —
+the exact shape of the production submit paths, concentrated on the
+simulation kernel.  This is the scenario the timer-queue overhaul was
+built for: the guard deadlines (one per request, cancelled
+microseconds later, due seconds out) are pure churn that the banded
+timer wheel absorbs at O(1) per request, and the completion gate plus
+reservoir statistics keep run memory flat no matter how many arrivals
+are offered.
+
+The result is written to ``BENCH_engine.json`` at the repo root —
+events/sec, wall-clock per simulated day, and the peak event-queue
+length — and committed, so regressions are caught by comparing a fresh
+run against the committed numbers (``--smoke`` runs a reduced arrival
+count and fails on a >30% events/sec regression; that is the CI gate).
+
+Run ``python benchmarks/bench_engine_perf.py`` for the full committed
+measurement, ``--smoke`` (or ``BENCH_SMOKE=1``) for the CI check.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+from repro.sim import AnyOf, Engine, Store
+from repro.sim.units import SEC
+from repro.workloads import OpenLoopInjector, PoissonArrivals
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+ARRIVALS = 1_000_000
+SMOKE_ARRIVALS = 50_000
+RATE_PER_S = 200_000.0
+SERVICE_NS = 2_000.0
+SERVERS = 8
+REQUEST_TIMEOUT_NS = 5 * SEC  # the guard deadline: armed always, used never
+MAX_QUEUE_DEPTH = 4_096
+POOL = 64
+SEED = 2014
+REGRESSION_TOLERANCE = 0.30  # smoke fails below 70% of committed events/sec
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+class EchoServer:
+    """One echo worker: drain the queue, serve, complete."""
+
+    def __init__(self, engine, service_ns):
+        self.engine = engine
+        self.queue = Store(engine, name="echo-q")
+        engine.process(self._serve(service_ns), name="echo.worker", daemon=True)
+
+    def _serve(self, service_ns):
+        engine = self.engine
+        queue = self.queue
+        while True:
+            payload, done = yield queue.get()
+            yield engine.timeout(service_ns)
+            done.succeed(payload)
+
+
+class EchoCluster:
+    """Round-robin front door over the echo servers (sink protocol).
+
+    Every request races its response against a guard deadline, disarmed
+    on completion — the request-timeout pattern of the cluster layer,
+    which is what fills the timer queue with cancelled entries.
+    """
+
+    def __init__(self, engine, servers, service_ns):
+        self.engine = engine
+        self.servers = [EchoServer(engine, service_ns) for _ in range(servers)]
+        self.outstanding = 0
+        self._next = 0
+
+    def submit(self, request, timeout_ns):
+        engine = self.engine
+        self.outstanding += 1
+        try:
+            server = self.servers[self._next]
+            self._next = (self._next + 1) % len(self.servers)
+            done = engine.event(name="echo-done")
+            yield server.queue.put((request, done))
+            deadline = engine.timeout(timeout_ns)
+            yield AnyOf(engine, [done, deadline])
+            if not done.triggered:
+                return None
+            deadline.cancel()
+            return done.value
+        finally:
+            self.outstanding -= 1
+
+
+def run_scenario(arrivals: int) -> dict:
+    engine = Engine(seed=SEED)
+    cluster = EchoCluster(engine, SERVERS, SERVICE_NS)
+    pool = list(range(POOL))
+    traffic = OpenLoopInjector(
+        engine,
+        cluster,
+        PoissonArrivals(RATE_PER_S),
+        pool,
+        max_queue_depth=MAX_QUEUE_DEPTH,
+        timeout_ns=REQUEST_TIMEOUT_NS,
+    )
+    t0 = time.perf_counter()
+    done = traffic.run(arrivals)
+    stats = engine.run_until(done)
+    wall_s = time.perf_counter() - t0
+
+    sim_s = engine.now / SEC
+    scheduled = engine._seq  # total scheduled entries: comparable across versions
+    summary = stats.stats()
+    return {
+        "arrivals": arrivals,
+        "wall_s": round(wall_s, 3),
+        "sim_s": round(sim_s, 6),
+        "events_per_sec": round(scheduled / wall_s),
+        "arrivals_per_sec": round(arrivals / wall_s),
+        "wall_per_sim_day_s": round(wall_s * 86_400.0 / sim_s, 1),
+        "peak_queue_length": getattr(engine, "peak_queue_length", None),
+        "events_dispatched": getattr(engine, "events_dispatched", None),
+        "events_dropped": getattr(engine, "events_dropped", None),
+        "offered": stats.offered,
+        "completed": stats.completed,
+        "rejected": stats.rejected,
+        "timeouts": stats.timeouts,
+        "p50_ns": round(summary.p50, 1),
+        "p99_ns": round(summary.p99, 1),
+    }
+
+
+def check_regression(result: dict, committed: dict) -> None:
+    """Raise if events/sec fell more than the tolerance vs the committed run."""
+    committed_rate = committed["result"]["events_per_sec"]
+    floor = (1.0 - REGRESSION_TOLERANCE) * committed_rate
+    measured = result["events_per_sec"]
+    if measured < floor:
+        raise SystemExit(
+            f"REGRESSION: {measured:,} events/sec is below {floor:,.0f} "
+            f"(70% of committed {committed_rate:,}); "
+            f"see {RESULT_PATH.name} for the committed run"
+        )
+    print(
+        f"regression gate OK: {measured:,} events/sec >= {floor:,.0f} "
+        f"(70% of committed {committed_rate:,})"
+    )
+
+
+def payload(result: dict) -> dict:
+    return {
+        "scenario": {
+            "description": "open-loop Poisson arrivals vs echo-server cluster "
+            "with per-request guard deadlines",
+            "arrivals": result["arrivals"],
+            "rate_per_s": RATE_PER_S,
+            "servers": SERVERS,
+            "service_ns": SERVICE_NS,
+            "request_timeout_ns": REQUEST_TIMEOUT_NS,
+            "max_queue_depth": MAX_QUEUE_DEPTH,
+            "seed": SEED,
+        },
+        "result": result,
+    }
+
+
+def test_engine_perf_smoke(record):
+    """Reduced run: sanity of the scenario plus the regression gate."""
+    result = run_scenario(SMOKE_ARRIVALS)
+    assert result["offered"] == SMOKE_ARRIVALS
+    assert result["offered"] == result["completed"] + result["rejected"] + result["timeouts"]
+    assert result["completed"] > 0.9 * SMOKE_ARRIVALS
+    record(
+        "engine_perf_smoke",
+        "\n".join(f"{key} = {value}" for key, value in sorted(result.items())),
+    )
+    if RESULT_PATH.exists():
+        check_regression(result, json.loads(RESULT_PATH.read_text()))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced arrival count + regression gate (CI)",
+    )
+    parser.add_argument(
+        "--arrivals", type=int, default=None, help="override the arrival count"
+    )
+    args = parser.parse_args()
+    smoke = args.smoke or SMOKE
+    arrivals = args.arrivals or (SMOKE_ARRIVALS if smoke else ARRIVALS)
+    result = run_scenario(arrivals)
+    for key, value in sorted(result.items()):
+        print(f"{key} = {value}")
+    if smoke:
+        if RESULT_PATH.exists():
+            check_regression(result, json.loads(RESULT_PATH.read_text()))
+        else:
+            print(f"no committed {RESULT_PATH.name}; skipping regression gate")
+    else:
+        RESULT_PATH.write_text(json.dumps(payload(result), indent=2) + "\n")
+        print(f"wrote {RESULT_PATH}")

@@ -1,6 +1,6 @@
 """Measurement, reporting, and trace-replay utilities."""
 
-from repro.analysis.stats import LatencyStats, cdf_points, percentile
+from repro.analysis.stats import LatencyStats, ReservoirSample, cdf_points, percentile
 from repro.analysis.meters import ThroughputMeter
 from repro.analysis.replay import PathStep, TraceReplay, replay_trace
 from repro.analysis.tables import format_series, format_table
@@ -8,6 +8,7 @@ from repro.analysis.tables import format_series, format_table
 __all__ = [
     "LatencyStats",
     "PathStep",
+    "ReservoirSample",
     "ThroughputMeter",
     "TraceReplay",
     "cdf_points",

@@ -1,9 +1,10 @@
-"""Latency statistics: percentiles and CDFs, paper-style."""
+"""Latency statistics: percentiles, CDFs, and bounded-memory samples."""
 
 from __future__ import annotations
 
 import dataclasses
 import math
+import random
 import typing
 
 
@@ -86,4 +87,136 @@ class LatencyStats:
             p99=self.p99 * factor,
             p999=self.p999 * factor,
             max=self.max * factor,
+        )
+
+
+class ReservoirSample:
+    """Bounded-memory latency accumulator (Vitter's Algorithm R).
+
+    Count, mean, and max are exact over every observation; percentiles
+    are computed from a uniform random sample of at most ``capacity``
+    values, so memory stays flat no matter how many latencies a run
+    records.  Below capacity the reservoir holds every observation in
+    arrival order and all statistics are exact.
+
+    The replacement RNG is private and seeded at construction, so two
+    same-seed simulations produce identical quantiles.
+
+    Supports enough of the list protocol (``append``, ``len``,
+    iteration, indexing, ``==`` against a list, ``clear``) to drop in
+    where an unbounded ``latencies_ns`` list used to live.  ``len()``
+    returns the *exact observation count* — callers that need the
+    sample size should use ``sample_size``.
+    """
+
+    __slots__ = ("capacity", "count", "total", "_max", "_sample", "_seed", "_rng")
+
+    def __init__(self, capacity: int = 100_000, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self._max = 0.0
+        self._sample: list[float] = []
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    # -- accumulation --------------------------------------------------
+
+    def append(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self._max:
+            self._max = value
+        sample = self._sample
+        if len(sample) < self.capacity:
+            sample.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                sample[slot] = value
+
+    def extend(self, values: typing.Iterable[float]) -> None:
+        for value in values:
+            self.append(value)
+
+    def clear(self) -> None:
+        """Reset to the just-constructed state (RNG included)."""
+        self.count = 0
+        self.total = 0.0
+        self._max = 0.0
+        self._sample.clear()
+        self._rng = random.Random(self._seed)
+
+    # -- list protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __iter__(self) -> typing.Iterator[float]:
+        return iter(self._sample)
+
+    def __getitem__(self, index):
+        return self._sample[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ReservoirSample):
+            return self.count == other.count and self._sample == other._sample
+        if isinstance(other, (list, tuple)):
+            return self.count == len(other) and self._sample == list(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        """Number of values retained for percentile estimation."""
+        return len(self._sample)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean over all observations (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @property
+    def max(self) -> float:
+        """Exact maximum over all observations (0.0 when empty)."""
+        return self._max
+
+    def percentile(self, pct: float) -> float:
+        """Percentile from the retained sample (exact below capacity)."""
+        return percentile(self._sample, pct)
+
+    def summary(self) -> LatencyStats:
+        """Exact count/mean/max with sampled percentiles.
+
+        Returns :meth:`LatencyStats.empty` for zero observations rather
+        than raising, matching how run-level reports treat windows that
+        completed nothing.
+        """
+        if self.count == 0:
+            return LatencyStats.empty()
+        ordered = sorted(self._sample)
+        return LatencyStats(
+            count=self.count,
+            mean=self.mean,
+            p50=percentile(ordered, 50),
+            p95=percentile(ordered, 95),
+            p99=percentile(ordered, 99),
+            p999=percentile(ordered, 99.9),
+            max=self._max,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReservoirSample n={self.count} "
+            f"sample={len(self._sample)}/{self.capacity}>"
         )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.analysis import ThroughputMeter
+from repro.analysis import ReservoirSample, ThroughputMeter
 from repro.cluster.deployment import Deployment
 from repro.fabric.datacenter import Datacenter
 from repro.sim import Engine
@@ -75,7 +75,7 @@ class CompositeDeployment:
             )
         )
         self.meter = ThroughputMeter(engine)
-        self.latencies_ns: list[float] = []
+        self.latencies_ns = ReservoirSample()
         self.completed = 0
         self.timeouts = 0
         self.outstanding = 0  # in-flight composite requests (whole chains)

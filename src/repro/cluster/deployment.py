@@ -22,7 +22,7 @@ import dataclasses
 import itertools
 import typing
 
-from repro.analysis import LatencyStats, ThroughputMeter
+from repro.analysis import LatencyStats, ReservoirSample, ThroughputMeter
 from repro.fabric.pod import Pod
 from repro.fabric.server import Server
 from repro.host.slots import RequestTimeout, SlotClient
@@ -92,7 +92,7 @@ class Deployment:
         self.assignment: RingAssignment | None = None
         self.released = False  # set when the scheduler reclaims the ring
         self.meter = ThroughputMeter(engine)
-        self.latencies_ns: list[float] = []
+        self.latencies_ns = ReservoirSample()
         self.completed = 0
         self.timeouts = 0
         self.outstanding = 0  # dispatched via submit(), not yet resolved

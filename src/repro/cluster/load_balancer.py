@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.analysis import LatencyStats, ThroughputMeter
+from repro.analysis import LatencyStats, ReservoirSample, ThroughputMeter
 from repro.cluster.deployment import Deployment
 from repro.sim import Engine
 from repro.sim.units import SEC
@@ -60,7 +60,7 @@ class LoadBalancer:
         self.policy = policy
         self.name = name
         self.meter = ThroughputMeter(engine)
-        self.latencies_ns: list[float] = []
+        self.latencies_ns = ReservoirSample()
         self.dispatched = 0
         self.completed = 0
         self.timeouts = 0
@@ -131,11 +131,18 @@ class LoadBalancer:
             deployment.meter.start_measurement()
 
     def stats(self) -> LatencyStats:
-        return LatencyStats.from_samples(self.latencies_ns)
+        """Exact count/mean/max with (reservoir-)sampled percentiles.
+
+        Raises on zero completions, matching the old
+        ``LatencyStats.from_samples`` contract.
+        """
+        if not self.latencies_ns:
+            raise ValueError("no samples")
+        return self.latencies_ns.summary()
 
     def per_ring_stats(self) -> dict[str, LatencyStats]:
         return {
-            deployment.name: LatencyStats.from_samples(deployment.latencies_ns)
+            deployment.name: deployment.latencies_ns.summary()
             for deployment in self.deployments
             if deployment.latencies_ns
         }

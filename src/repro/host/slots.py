@@ -15,8 +15,10 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.analysis import ReservoirSample
 from repro.fabric.server import Server
 from repro.shell.messages import Packet, PacketKind
+from repro.sim import AnyOf
 from repro.sim.units import US
 
 # §3.1: the FPGA "generates an interrupt to wake and notify the
@@ -66,8 +68,6 @@ class SlotLease:
         if timeout_ns is None:
             response = yield consume
         else:
-            from repro.sim import AnyOf
-
             deadline = engine.timeout(timeout_ns)
             yield AnyOf(engine, [consume, deadline])
             if not consume.triggered:
@@ -94,7 +94,7 @@ class SlotClient:
 
     def __init__(self, server: Server):
         self.server = server
-        self.latencies_ns: list[float] = []
+        self.latencies_ns = ReservoirSample()
         self._next_slot = 0
 
     def lease(self) -> SlotLease:

@@ -11,15 +11,20 @@ queue lengths.
 
 from __future__ import annotations
 
-import dataclasses
+import typing
 from collections import deque
 
 from repro.hardware.constants import FDR_CAPACITY
 
 
-@dataclasses.dataclass(frozen=True)
-class FdrEntry:
-    """One recorded router event."""
+class FdrEntry(typing.NamedTuple):
+    """One recorded router event.
+
+    A NamedTuple rather than a frozen dataclass: one entry is built per
+    router hop, and frozen-dataclass construction (``__init__`` +
+    ``object.__setattr__`` per field) is several times the cost of a
+    tuple — measurable across tens of millions of hops.
+    """
 
     timestamp_ns: float
     trace_id: int

@@ -39,13 +39,15 @@ class TraceIds:
         return next(cls._counter)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Packet:
     """One network transaction.
 
     ``payload`` is a Python object (document, score, command); fidelity
     to wire size comes from ``size_bytes``, which drives serialization
-    time.  ``route`` tracks hops for diagnostics.
+    time.  ``route`` tracks hops for diagnostics.  Slotted: several
+    packets exist per request, and the per-instance dict is the single
+    biggest allocation on that path.
     """
 
     kind: PacketKind

@@ -58,6 +58,15 @@ class Router:
         }
         self.dropped_no_route = 0
         self.forwarded = 0
+        # Hot-path precomputation: the port set is static, so the
+        # direction labels (36 combinations) and the queue-probe list
+        # are built once instead of per recorded hop.
+        self._directions = {
+            (a, b): f"{a.value}->{b.value}" for a in Port for b in Port
+        }
+        self._queue_probe = [
+            (port.value, store.items) for port, store in self.output_queues.items()
+        ]
 
     # -- configuration ------------------------------------------------------
 
@@ -101,19 +110,19 @@ class Router:
         return self.routing_table.get(packet.dst)
 
     def _record(self, packet: Packet, in_port: Port, out_port: Port) -> None:
-        queue_lengths = tuple(
-            (port.value, len(queue))
-            for port, queue in self.output_queues.items()
-            if len(queue) > 0
-        )
+        lengths = []
+        for probe in self._queue_probe:
+            depth = len(probe[1])
+            if depth:
+                lengths.append((probe[0], depth))
         self.fdr.record(
             FdrEntry(
                 timestamp_ns=self.engine.now,
                 trace_id=packet.trace_id,
                 size_bytes=packet.size_bytes,
-                direction=f"{in_port.value}->{out_port.value}",
+                direction=self._directions[(in_port, out_port)],
                 kind=packet.kind.value,
-                queue_lengths=queue_lengths,
+                queue_lengths=tuple(lengths),
             )
         )
 

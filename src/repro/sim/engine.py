@@ -3,18 +3,45 @@
 Time is a float in nanoseconds.  Determinism is guaranteed by a
 monotonic tie-break sequence number on every scheduled entry, so two
 runs with the same seed produce identical traces.
+
+The queue is three-tiered for per-event cost (the ceiling on
+million-arrival experiments):
+
+* a FIFO **ready deque** for already-triggered events dispatching at the
+  current instant (the majority: every ``succeed()``/``fail()``) — O(1)
+  instead of a heap push;
+* a binary **heap** for near deadlines;
+* a banded **timer wheel** for far deadlines (coarse time bands, one
+  list per band, flushed into the heap when the clock approaches the
+  band).  Cancelled timeouts parked in a band are dropped at flush time
+  without ever touching the heap — the request-timeout churn of the
+  cluster layer (one guard deadline per request, cancelled microseconds
+  later) costs O(1) per request instead of bloating the heap for the
+  full timeout horizon.
+
+All three tiers dispatch in strict global ``(time, seq)`` order, so the
+event order is bit-identical to a single-heap engine
+(``timer_wheel=False`` keeps the heap-only arrangement for A/B tests).
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 import typing
+from collections import deque
 
 from repro.sim.events import Event, Timeout
 from repro.sim.rng import RngStreams
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
+
+# One timer-wheel band covers this much simulated time.  Coarse enough
+# that band bookkeeping is negligible, fine enough that a cancelled
+# request deadline (armed ~ms-to-s ahead, cancelled ~µs later) almost
+# always dies in its band, never reaching the heap.
+DEFAULT_BAND_NS = 1_000_000.0  # 1 ms
 
 
 class SimulationError(RuntimeError):
@@ -35,15 +62,48 @@ class Engine:
         proc = eng.process(worker(eng))
         eng.run()
         assert proc.value == "done"
+
+    Diagnostics: :attr:`events_dispatched` counts dispatched events,
+    :attr:`events_dropped` counts cancelled entries that were dropped
+    without dispatch (lazy deletion), and :attr:`peak_queue_length`
+    tracks the high-water mark of pending entries across all tiers.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(
+        self,
+        seed: int = 0,
+        timer_wheel: bool = True,
+        timer_band_ns: float = DEFAULT_BAND_NS,
+    ):
+        if timer_band_ns <= 0:
+            raise ValueError(f"band width must be positive, got {timer_band_ns}")
         self.now: float = 0.0
         self.rng = RngStreams(seed)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []  # near-deadline heap
+        self._ready: deque[tuple[float, int, Event]] = deque()  # triggered, due now
         self._seq = 0
         self._running = False
         self._nondaemon_pending = 0
+        self._pending = 0  # entries across all tiers
+        self.events_dispatched = 0
+        self.events_dropped = 0
+        self.peak_queue_length = 0
+        # -- timer wheel (far deadlines, banded) --
+        self._wheel = timer_wheel
+        self._band_ns = timer_band_ns
+        self._bands: dict[int, list[tuple[float, int, Event]]] = {}
+        self._band_heap: list[int] = []  # pending band indices, min first
+        self._band_floor = 0  # bands <= floor flush straight to the heap
+        # Start time of the earliest pending band (inf when none): the
+        # run loops compare against this plain float instead of calling
+        # into the flush machinery on every pop.
+        self._band_start = math.inf
+        # Cancelled-but-still-queued entries.  Once they outnumber the
+        # live entries the queue is compacted, so a workload that arms
+        # and disarms one guard deadline per request runs in flat
+        # memory instead of accumulating every dead deadline until its
+        # band comes due.
+        self._cancelled_pending = 0
 
     # -- scheduling ------------------------------------------------------
 
@@ -52,9 +112,76 @@ class Engine:
             raise SimulationError(f"cannot schedule at {when} < now {self.now}")
         self._seq += 1
         event._scheduled = True
-        if not getattr(event, "_daemon", False):
+        if not event._daemon:
             self._nondaemon_pending += 1
+        pending = self._pending = self._pending + 1
+        if pending > self.peak_queue_length:
+            self.peak_queue_length = pending
+        if self._wheel:
+            band = int(when // self._band_ns)
+            if band * self._band_ns > when:  # float floor-division guard
+                band -= 1
+            if band > self._band_floor:
+                bucket = self._bands.get(band)
+                if bucket is None:
+                    self._bands[band] = [(when, self._seq, event)]
+                    heapq.heappush(self._band_heap, band)
+                    start = self._band_heap[0] * self._band_ns
+                    if start < self._band_start:
+                        self._band_start = start
+                else:
+                    bucket.append((when, self._seq, event))
+                return
         heapq.heappush(self._queue, (when, self._seq, event))
+
+    def _schedule_trigger(self, event: Event) -> None:
+        """Schedule dispatch of an already-triggered event at ``now``.
+
+        Triggered events dispatch at the current instant, after
+        everything already pending at this timestamp — a FIFO append,
+        no heap involved.
+        """
+        self._seq += 1
+        event._scheduled = True
+        if not event._daemon:
+            self._nondaemon_pending += 1
+        pending = self._pending = self._pending + 1
+        if pending > self.peak_queue_length:
+            self.peak_queue_length = pending
+        self._ready.append((self.now, self._seq, event))
+
+    def _note_cancel(self) -> None:
+        """Record a cancellation; compact the queue when dead weight wins.
+
+        Dropping entries eagerly would be O(n) per cancel; instead the
+        sweep runs only when cancelled entries outnumber live ones (and
+        at least a thousand have piled up), making it amortised O(1)
+        per cancellation while bounding the queue at ~2x the live size.
+        """
+        self._cancelled_pending += 1
+        if self._cancelled_pending > 1024 and self._cancelled_pending * 2 > self._pending:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled, untriggered entry from all queue tiers."""
+        dropped = 0
+        queue = self._queue
+        live = [e for e in queue if not (e[2].cancelled and not e[2].triggered)]
+        if len(live) != len(queue):
+            dropped += len(queue) - len(live)
+            heapq.heapify(live)
+            self._queue = live
+        bands = self._bands
+        for band, bucket in bands.items():
+            kept = [e for e in bucket if not (e[2].cancelled and not e[2].triggered)]
+            if len(kept) != len(bucket):
+                dropped += len(bucket) - len(kept)
+                # Emptied buckets stay in place: their index is still on
+                # the band heap and is popped (harmlessly) at flush time.
+                bands[band] = kept
+        self._pending -= dropped
+        self.events_dropped += dropped
+        self._cancelled_pending = 0
 
     def mark_daemon(self, event: Event) -> None:
         """Tag a pending event as daemon work.
@@ -67,14 +194,10 @@ class Engine:
         chain — handoffs to daemons may be left undispatched by a
         bare ``run()``.
         """
-        if not getattr(event, "_daemon", False):
+        if not event._daemon:
             event._daemon = True
-            if getattr(event, "_scheduled", False):
+            if event._scheduled:
                 self._nondaemon_pending -= 1
-
-    def _schedule_trigger(self, event: Event) -> None:
-        """Schedule dispatch of an already-triggered event at ``now``."""
-        self._schedule_at(self.now, event)
 
     # -- factories -------------------------------------------------------
 
@@ -98,19 +221,114 @@ class Engine:
 
         return Process(self, generator, name=name, daemon=daemon)
 
+    # -- queue internals -------------------------------------------------
+
+    def _flush_due_bands(self) -> None:
+        """Move every band that could hold the next event into the heap.
+
+        Cancelled, still-untriggered entries (disarmed deadlines) are
+        dropped here — they never reach the heap at all.
+        """
+        band_heap = self._band_heap
+        queue = self._queue
+        ready = self._ready
+        band_ns = self._band_ns
+        while band_heap:
+            start = band_heap[0] * band_ns
+            if ready and ready[0][0] < start:
+                break
+            if queue and queue[0][0] < start:
+                break
+            band = heapq.heappop(band_heap)
+            self._band_floor = band
+            for entry in self._bands.pop(band):
+                event = entry[2]
+                if event.cancelled and not event.triggered:
+                    self._pending -= 1
+                    self._cancelled_pending -= 1
+                    self.events_dropped += 1
+                    if not event._daemon:
+                        self._nondaemon_pending -= 1
+                    continue
+                heapq.heappush(queue, entry)
+        self._band_start = band_heap[0] * band_ns if band_heap else math.inf
+
+    def _pop_next(self) -> tuple[float, int, Event] | None:
+        """Remove and return the globally next entry, or None if empty.
+
+        Cancelled, untriggered entries (lazily-deleted timeouts) are
+        dropped — never dispatched — on the way.
+        """
+        queue = self._queue
+        ready = self._ready
+        inf = math.inf
+        while True:
+            if ready:
+                # ready entries were appended at (then-) current time, so
+                # the ready head is never later than the queue head; it is
+                # the flush candidate.
+                if self._band_start <= ready[0][0]:
+                    self._flush_due_bands()
+                head = ready[0]
+                if queue and queue[0] < head:
+                    entry = heapq.heappop(queue)
+                else:
+                    entry = ready.popleft()
+            elif queue:
+                if self._band_start <= queue[0][0]:
+                    self._flush_due_bands()
+                entry = heapq.heappop(queue)
+            else:
+                if self._band_start < inf:
+                    # Only banded entries remain (e.g. far-future
+                    # timeouts, or parked cancelled deadlines to drop).
+                    self._flush_due_bands()
+                    continue
+                return None
+            event = entry[2]
+            if event.cancelled and not event.triggered:
+                self._pending -= 1
+                self._cancelled_pending -= 1
+                self.events_dropped += 1
+                if not event._daemon:
+                    self._nondaemon_pending -= 1
+                continue
+            self._pending -= 1
+            return entry
+
+    def _unpop(self, entry: tuple[float, int, Event]) -> None:
+        """Return a popped-but-undispatched entry to the queue."""
+        heapq.heappush(self._queue, entry)
+        self._pending += 1
+
+    def _dispatch(self, entry: tuple[float, int, Event]) -> None:
+        """Advance the clock to ``entry`` and run its event's callbacks."""
+        event = entry[2]
+        self.now = entry[0]
+        if not event._daemon:
+            self._nondaemon_pending -= 1
+        if not event.triggered:
+            # A Timeout reaching its deadline triggers lazily, here.
+            event.triggered = True
+            event._value = event._timeout_value
+        self.events_dispatched += 1
+        # Dispatched before the callbacks run, so a callback registered
+        # *during* dispatch fires immediately instead of being lost.
+        event._dispatched = True
+        callbacks = event.callbacks
+        if callbacks is not None:
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+
     # -- execution -------------------------------------------------------
 
     def step(self) -> None:
         """Process the single next event in the queue."""
-        when, _seq, event = heapq.heappop(self._queue)
-        self.now = when
-        if not getattr(event, "_daemon", False):
-            self._nondaemon_pending -= 1
-        if not event.triggered:
-            # A Timeout reaching its deadline triggers lazily, here.
-            event._value = getattr(event, "_timeout_value", None)
-        event._dispatch()
-        event._dispatched = True
+        entry = self._pop_next()
+        if entry is None:
+            raise IndexError("step() on an empty event queue")
+        self._dispatch(entry)
 
     def run(self, until: float | None = None) -> float:
         """Run until the queue drains or simulated time passes ``until``.
@@ -120,19 +338,29 @@ class Engine:
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
+        pop_next = self._pop_next
+        dispatch = self._dispatch
         try:
-            while self._queue:
-                if until is None and self._nondaemon_pending <= 0:
-                    break  # only daemon (periodic background) work remains
-                when = self._queue[0][0]
-                if until is not None and when > until:
-                    # max(): a nested run_until (e.g. a reconciliation
-                    # placing a replacement ring from inside a watchdog
-                    # callback) may already have advanced the clock past
-                    # the deadline; never move time backwards.
-                    self.now = max(self.now, until)
-                    break
-                self.step()
+            if until is None:
+                while self._nondaemon_pending > 0:
+                    entry = pop_next()
+                    if entry is None:
+                        break
+                    dispatch(entry)
+            else:
+                while True:
+                    entry = pop_next()
+                    if entry is None:
+                        break
+                    if entry[0] > until:
+                        # max(): a nested run_until (e.g. a reconciliation
+                        # placing a replacement ring from inside a watchdog
+                        # callback) may already have advanced the clock past
+                        # the deadline; never move time backwards.
+                        self._unpop(entry)
+                        self.now = max(self.now, until)
+                        break
+                    dispatch(entry)
         finally:
             self._running = False
         if until is not None and self.now < until:
@@ -144,19 +372,28 @@ class Engine:
 
         Raises :class:`SimulationError` if the queue drains first.
         """
+        pop_next = self._pop_next
+        dispatch = self._dispatch
         while not event.triggered:
-            if not self._queue:
+            entry = pop_next()
+            if entry is None:
                 raise SimulationError(f"queue drained before {event!r} triggered")
-            self.step()
+            dispatch(entry)
         # Drain same-timestamp callbacks so observers see a settled state.
-        while self._queue and self._queue[0][0] == self.now:
-            self.step()
+        while True:
+            entry = pop_next()
+            if entry is None:
+                break
+            if entry[0] != self.now:
+                self._unpop(entry)
+                break
+            dispatch(entry)
         return event.value
 
     @property
     def queue_length(self) -> int:
         """Number of pending scheduled entries (diagnostic)."""
-        return len(self._queue)
+        return self._pending
 
     def __repr__(self) -> str:
-        return f"<Engine t={self.now:.1f}ns queue={len(self._queue)}>"
+        return f"<Engine t={self.now:.1f}ns queue={self._pending}>"

@@ -4,6 +4,12 @@ An :class:`Event` is a one-shot occurrence.  Processes wait on events by
 ``yield``-ing them; the engine resumes the process when the event
 triggers.  Events may succeed with a value or fail with an exception
 (which is re-raised inside every waiting process).
+
+This module is the per-event hot path of every experiment: a
+million-arrival open-loop run allocates tens of millions of events, so
+the classes are ``__slots__``-only (no per-instance dict), state flags
+are plain attributes instead of computed properties, and the callback
+list is allocated lazily (most events never get more than one waiter).
 """
 
 from __future__ import annotations
@@ -33,20 +39,38 @@ class Event:
     a programming error and raises ``RuntimeError``.
     """
 
+    __slots__ = (
+        "engine",
+        "name",
+        "callbacks",
+        "cancelled",
+        "triggered",
+        "_value",
+        "_exception",
+        "_dispatched",
+        "_daemon",
+        "_scheduled",
+    )
+
+    # Class-level fallback: only Timeout carries a real deadline value.
+    # The engine reads this on lazily-triggered entries without a
+    # ``getattr`` probe (a plain Event scheduled untriggered resolves to
+    # the class attribute, None).
+    _timeout_value = None
+
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
         self.name = name
-        self.callbacks: list[typing.Callable[[Event], None]] = []
+        self.callbacks: list | None = None  # allocated on first waiter
         self.cancelled = False  # abandoned by its waiter (kill/interrupt)
+        self.triggered = False  # set by succeed()/fail()/lazy deadline
         self._value: object = _PENDING
         self._exception: BaseException | None = None
+        self._dispatched = False
+        self._daemon = False
+        self._scheduled = False
 
     # -- state ---------------------------------------------------------
-
-    @property
-    def triggered(self) -> bool:
-        """True once the event has succeeded or failed."""
-        return self._value is not _PENDING or self._exception is not None
 
     @property
     def ok(self) -> bool:
@@ -72,6 +96,7 @@ class Event:
         """Trigger the event successfully, delivering ``value``."""
         if self.triggered:
             raise RuntimeError(f"event {self!r} already triggered")
+        self.triggered = True
         self._value = value
         self.engine._schedule_trigger(self)
         return self
@@ -82,6 +107,7 @@ class Event:
             raise RuntimeError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self.triggered = True
         self._exception = exception
         self._value = None
         self.engine._schedule_trigger(self)
@@ -89,20 +115,14 @@ class Event:
 
     # -- engine plumbing -------------------------------------------------
 
-    def _dispatch(self) -> None:
-        """Run callbacks; called exactly once by the engine."""
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
-
     def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
         """Register ``callback``; fired immediately if already dispatched."""
         if self._dispatched:
             callback(self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
-
-    _dispatched = False
 
     def __repr__(self) -> str:
         state = "ok" if self.ok else ("failed" if self.triggered else "pending")
@@ -111,12 +131,20 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds after a fixed simulated delay."""
+    """An event that succeeds after a fixed simulated delay.
+
+    Timeouts trigger *lazily*: the entry sits untriggered in the engine's
+    timer queue and receives its value only when the deadline pops.
+    :meth:`cancel` therefore makes the entry vanish for free — the engine
+    drops cancelled, still-untriggered entries without dispatching them.
+    """
+
+    __slots__ = ("delay", "_timeout_value")
 
     def __init__(self, engine: "Engine", delay: float, value: object = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(engine, name=f"Timeout({delay})")
+        super().__init__(engine)
         self.delay = delay
         self._timeout_value = value
         engine._schedule_at(engine.now + delay, self)
@@ -124,14 +152,23 @@ class Timeout(Event):
     def cancel(self) -> None:
         """Disarm a pending timeout its waiter no longer needs.
 
-        The entry stays in the engine heap (removal from a binary heap
-        is O(n)) but is demoted to daemon work, so an abandoned deadline
-        no longer keeps a bare ``run()`` alive until it fires.
+        The entry is dropped — not dispatched — when the engine reaches
+        it (true lazy deletion; removal from the timer queue itself
+        would be O(n)).  It is also demoted to daemon work immediately,
+        so an abandoned deadline no longer keeps a bare ``run()`` alive
+        until it fires.
         """
-        if self.triggered:
+        if self.triggered or self.cancelled:
             return
         self.cancelled = True
         self.engine.mark_daemon(self)
+        self.engine._note_cancel()
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else ("failed" if self.triggered else "pending")
+        if self.cancelled and not self.triggered:
+            state = "cancelled"
+        return f"<Timeout({self.delay}) {state}>"
 
 
 class ConditionValue(dict):
@@ -140,6 +177,8 @@ class ConditionValue(dict):
 
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_ok_count")
 
     def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
         super().__init__(engine, name=self.__class__.__name__)
@@ -185,12 +224,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Succeeds when every child event has succeeded."""
 
+    __slots__ = ()
+
     def _is_satisfied(self) -> bool:
         return self._ok_count >= len(self.events)
 
 
 class AnyOf(_Condition):
     """Succeeds when at least one child event has succeeded."""
+
+    __slots__ = ()
 
     def _is_satisfied(self) -> bool:
         return self._ok_count >= 1

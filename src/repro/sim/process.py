@@ -26,6 +26,8 @@ class Process(Event):
     event value, observable by any process that yields (joins) it.
     """
 
+    __slots__ = ("generator", "daemon", "_waiting_on")
+
     def __init__(
         self,
         engine: "Engine",
@@ -40,8 +42,8 @@ class Process(Event):
         self.daemon = daemon
         self._waiting_on: Event | None = None
         # Kick-start on the next engine dispatch at the current time.
-        start = Event(engine, name=f"start:{self.name}")
-        start.add_callback(self._resume)
+        start = Event(engine, name="start")
+        start.callbacks = [self._resume]
         start.succeed()
         if daemon:
             engine.mark_daemon(start)
@@ -60,10 +62,11 @@ class Process(Event):
             return  # superseded by an interrupt; ignore the old event
         self._waiting_on = None
         try:
-            if event.ok:
+            exception = event._exception
+            if exception is None:
                 target = self.generator.send(event._value)
             else:
-                target = self.generator.throw(event.exception)
+                target = self.generator.throw(exception)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -98,14 +101,15 @@ class Process(Event):
                 return  # normal wakeup already in flight
             # Detach from (and cancel) the event we were waiting on so
             # stores/resources do not hand work to a departed waiter.
-            try:
-                waiting_on.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            if waiting_on.callbacks is not None:
+                try:
+                    waiting_on.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
             waiting_on.cancelled = True
         poke = Event(self.engine, name=f"interrupt:{self.name}")
         self._waiting_on = poke
-        poke.add_callback(self._resume)
+        poke.callbacks = [self._resume]
         poke.fail(Interrupt(cause))
 
     def kill(self) -> None:
@@ -114,10 +118,11 @@ class Process(Event):
             return
         waiting_on = self._waiting_on
         if waiting_on is not None and not waiting_on.triggered:
-            try:
-                waiting_on.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            if waiting_on.callbacks is not None:
+                try:
+                    waiting_on.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
             waiting_on.cancelled = True
         self._waiting_on = None
         self.generator.close()

@@ -38,6 +38,7 @@ class Resource:
         self.name = name
         self.in_use = 0
         self._waiters: deque[Event] = deque()
+        self._request_label = f"req:{name}"
 
     @property
     def available(self) -> int:
@@ -50,7 +51,7 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that succeeds when one unit is granted."""
-        event = Event(self.engine, name=f"req:{self.name}")
+        event = Event(self.engine, self._request_label)
         if self.in_use < self.capacity:
             self.in_use += 1
             event.succeed()

@@ -40,6 +40,10 @@ class Store:
         self.items: deque = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Event, object]] = deque()
+        # Event labels are precomputed: put/get run once per item moved,
+        # and per-event f-string formatting shows up in long experiments.
+        self._put_label = f"put:{name}"
+        self._get_label = f"get:{name}"
 
     def __len__(self) -> int:
         return len(self.items)
@@ -52,7 +56,7 @@ class Store:
 
     def put(self, item: object) -> Event:
         """Return an event that succeeds once ``item`` is enqueued."""
-        event = Event(self.engine, name=f"put:{self.name}")
+        event = Event(self.engine, self._put_label)
         if not self.is_full and not self._putters:
             self._enqueue(item)
             event.succeed(item)
@@ -62,7 +66,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that succeeds with the next item."""
-        event = Event(self.engine, name=f"get:{self.name}")
+        event = Event(self.engine, self._get_label)
         if self.items:
             event.succeed(self.items.popleft())
             self._admit_waiting_putters()
@@ -140,7 +144,7 @@ class PriorityStore(Store):
             heapq.heappush(self.items, item)
 
     def get(self) -> Event:
-        event = Event(self.engine, name=f"get:{self.name}")
+        event = Event(self.engine, self._get_label)
         if self.items:
             event.succeed(heapq.heappop(self.items))
             self._admit_waiting_putters()

@@ -30,9 +30,9 @@ import math
 import random
 import typing
 
-from repro.analysis import LatencyStats
+from repro.analysis import LatencyStats, ReservoirSample
 from repro.cluster.load_balancer import NoHealthyDeployment
-from repro.sim import AllOf, Engine, Event
+from repro.sim import Engine, Event
 from repro.sim.units import SEC
 
 
@@ -41,6 +41,14 @@ class ArrivalProcess:
 
     def rate_at(self, now_ns: float) -> float:
         raise NotImplementedError
+
+    def constant_rate_per_s(self) -> float | None:
+        """The rate if it never varies, else None.
+
+        A constant rate lets the injector skip the per-arrival
+        ``rate_at`` call and precompute the exponential scale once.
+        """
+        return None
 
     def interarrival_ns(self, rng: random.Random, now_ns: float) -> float:
         """Exponential gap at the instantaneous rate (thinning-free)."""
@@ -59,6 +67,9 @@ class PoissonArrivals(ArrivalProcess):
         self.rate_per_s = rate_per_s
 
     def rate_at(self, now_ns: float) -> float:
+        return self.rate_per_s
+
+    def constant_rate_per_s(self) -> float:
         return self.rate_per_s
 
 
@@ -114,14 +125,23 @@ class DiurnalArrivals(ArrivalProcess):
 
 @dataclasses.dataclass
 class OpenLoopStats:
-    """Counters and samples from one open-loop run."""
+    """Counters and samples from one open-loop run.
+
+    ``latencies_ns`` is a bounded :class:`ReservoirSample`, not a list:
+    a 10M-arrival run keeps memory flat while count/mean/max stay exact
+    and percentiles come from a uniform 100k-value sample (exact below
+    that).  It still supports ``append``/``len``/iteration/indexing, so
+    existing consumers read it like the list it replaced.
+    """
 
     offered: int = 0
     admitted: int = 0
     rejected: int = 0
     completed: int = 0
     timeouts: int = 0
-    latencies_ns: list = dataclasses.field(default_factory=list)
+    latencies_ns: ReservoirSample = dataclasses.field(
+        default_factory=ReservoirSample
+    )
 
     @property
     def admission_fraction(self) -> float:
@@ -138,9 +158,12 @@ class OpenLoopStats:
         """Latency summary — empty-safe: a window during which every
         arrival was shed (total outage) reports the zero summary
         instead of raising on the empty sample set."""
-        if not self.latencies_ns:
+        latencies = self.latencies_ns
+        if isinstance(latencies, ReservoirSample):
+            return latencies.summary()
+        if not latencies:
             return LatencyStats.empty()
-        return LatencyStats.from_samples(self.latencies_ns)
+        return LatencyStats.from_samples(latencies)
 
 
 class _SinkProtocol(typing.Protocol):  # pragma: no cover - typing aid
@@ -150,7 +173,23 @@ class _SinkProtocol(typing.Protocol):  # pragma: no cover - typing aid
 
 
 class OpenLoopInjector:
-    """Drives a sink with open-loop arrivals plus admission control."""
+    """Drives a sink with open-loop arrivals plus admission control.
+
+    Run completion is a *counter gate*: every in-flight handler holds
+    one count, the arrival source holds one until it has offered the
+    last arrival, and the done event fires when the count drains to
+    zero.  This replaces the old per-run children list + ``AllOf``
+    barrier — O(1) memory per run instead of one list slot plus one
+    condition callback per admitted arrival.
+
+    ``batch_window_ns`` (opt-in, default 0 = exact per-arrival timing)
+    coalesces admission: interarrival gaps are accumulated until the
+    window fills, then a *single* scheduler event drains the whole
+    batch of arrivals at once.  Latency for batched arrivals is
+    measured from the batch admission instant, so the window bounds
+    the timing distortion; the RNG draw sequence is identical either
+    way.
+    """
 
     def __init__(
         self,
@@ -161,20 +200,26 @@ class OpenLoopInjector:
         max_queue_depth: int | None = None,
         timeout_ns: float = 5 * SEC,
         seed_tag: str = "openloop",
+        batch_window_ns: float = 0.0,
     ):
         if not pool:
             raise ValueError("request pool must be non-empty")
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError(f"queue depth must be positive, got {max_queue_depth}")
+        if batch_window_ns < 0:
+            raise ValueError(f"batch window must be >= 0, got {batch_window_ns}")
         self.engine = engine
         self.sink = sink
         self.arrivals = arrivals
         self.pool = list(pool)
         self.max_queue_depth = max_queue_depth
         self.timeout_ns = timeout_ns
+        self.batch_window_ns = batch_window_ns
         self.stats = OpenLoopStats()
         self._rng = engine.rng.stream(f"openloop:{seed_tag}")
         self._pool_index = 0
+        self._open = 0  # in-flight handlers + the arrival source itself
+        self._done: Event | None = None
 
     def _next_request(self):
         request = self.pool[self._pool_index % len(self.pool)]
@@ -186,32 +231,64 @@ class OpenLoopInjector:
         requests have resolved (response, timeout, or rejection)."""
         if count < 1:
             raise ValueError(f"need at least one arrival, got {count}")
+        if self._done is not None and not self._done.triggered:
+            raise RuntimeError("injector already has a run in flight")
         done = self.engine.event(name="openloop:done")
-        self.engine.process(self._arrivals_body(count, done), name="openloop.src")
+        self._done = done
+        self._open = 1  # the arrival source's own count
+        self.engine.process(self._arrivals_body(count), name="openloop.src")
         return done
 
-    def _arrivals_body(self, count: int, done: Event) -> typing.Generator:
-        children = []
-        for _ in range(count):
-            yield self.engine.timeout(
-                self.arrivals.interarrival_ns(self._rng, self.engine.now)
-            )
-            self.stats.offered += 1
-            if (
-                self.max_queue_depth is not None
-                and self.sink.outstanding >= self.max_queue_depth
-            ):
-                self.stats.rejected += 1
-                continue
-            self.stats.admitted += 1
-            children.append(
-                self.engine.process(
-                    self._handle(self._next_request(), self.engine.now)
-                )
-            )
-        if children:
-            yield AllOf(self.engine, children)
-        done.succeed(self.stats)
+    def _close_one(self) -> None:
+        self._open -= 1
+        if self._open == 0:
+            self._done.succeed(self.stats)
+
+    def _arrivals_body(self, count: int) -> typing.Generator:
+        engine = self.engine
+        timeout = engine.timeout
+        spawn = engine.process
+        stats = self.stats
+        sink = self.sink
+        max_depth = self.max_queue_depth
+        batch_window = self.batch_window_ns
+        rng = self._rng
+        # Constant-rate fast path: precompute the exponential scale once
+        # and draw straight from the hoisted ``expovariate`` instead of
+        # calling ``rate_at`` per arrival.  Same draws either way.
+        expovariate = rng.expovariate
+        constant_rate = self.arrivals.constant_rate_per_s()
+        scale = (SEC / constant_rate) if constant_rate else None
+        interarrival = self.arrivals.interarrival_ns
+        remaining = count
+        while remaining:
+            # Accumulate gaps until the batch window fills (one draw —
+            # batch of one — when the window is 0, the exact pre-change
+            # per-arrival behavior).
+            if scale is not None:
+                wait = expovariate(1.0) * scale
+            else:
+                wait = interarrival(rng, engine.now)
+            batch = 1
+            while wait < batch_window and batch < remaining:
+                if scale is not None:
+                    gap = expovariate(1.0) * scale
+                else:
+                    gap = interarrival(rng, engine.now + wait)
+                wait += gap
+                batch += 1
+            yield timeout(wait)
+            remaining -= batch
+            now = engine.now
+            stats.offered += batch
+            for _ in range(batch):
+                if max_depth is not None and sink.outstanding >= max_depth:
+                    stats.rejected += 1
+                    continue
+                stats.admitted += 1
+                self._open += 1
+                spawn(self._handle(self._next_request(), now))
+        self._close_one()  # release the source's own count
 
     def _handle(self, request, arrived_ns: float) -> typing.Generator:
         try:
@@ -229,8 +306,11 @@ class OpenLoopInjector:
             self.stats.admitted -= 1
             self.stats.rejected += 1
             return
-        if response is None:
-            self.stats.timeouts += 1
-            return
-        self.stats.completed += 1
-        self.stats.latencies_ns.append(self.engine.now - arrived_ns)
+        else:
+            if response is None:
+                self.stats.timeouts += 1
+            else:
+                self.stats.completed += 1
+                self.stats.latencies_ns.append(self.engine.now - arrived_ns)
+        finally:
+            self._close_one()

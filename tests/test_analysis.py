@@ -120,3 +120,74 @@ def test_format_series_columns():
     assert lines[0] == "S"
     assert lines[1].split() == ["n", "a", "b"]
     assert lines[3].split() == ["10", "1", "3"]
+
+
+# -- ReservoirSample -----------------------------------------------------
+
+
+def test_reservoir_exact_below_capacity():
+    from repro.analysis import ReservoirSample
+
+    rs = ReservoirSample(capacity=100)
+    values = [float(v) for v in range(50)]
+    rs.extend(values)
+    assert rs == values  # holds every observation, in arrival order
+    assert len(rs) == 50
+    assert rs.count == 50
+    assert rs.total == sum(values)
+    assert rs.max == 49.0
+    assert rs.percentile(50) == percentile(values, 50)
+    summary = rs.summary()
+    assert summary.count == 50
+    assert summary.p99 == percentile(values, 99)
+
+
+def test_reservoir_bounded_above_capacity():
+    from repro.analysis import ReservoirSample
+
+    rs = ReservoirSample(capacity=200, seed=7)
+    n = 20_000
+    rs.extend(float(v) for v in range(n))
+    assert rs.count == n  # exact counters survive sampling
+    assert rs.total == float(sum(range(n)))
+    assert rs.max == float(n - 1)
+    assert rs.sample_size == 200  # flat memory
+    assert abs(rs.mean - (n - 1) / 2) < 1e-9
+    # Quantiles are estimates from a uniform sample: loose tolerance.
+    assert abs(rs.percentile(50) - n / 2) < 0.15 * n
+
+
+def test_reservoir_same_seed_is_reproducible():
+    from repro.analysis import ReservoirSample
+
+    a = ReservoirSample(capacity=64, seed=3)
+    b = ReservoirSample(capacity=64, seed=3)
+    for v in range(5_000):
+        a.append(float(v))
+        b.append(float(v))
+    assert a == b
+    assert a.percentile(99) == b.percentile(99)
+
+
+def test_reservoir_clear_resets_rng():
+    from repro.analysis import ReservoirSample
+
+    rs = ReservoirSample(capacity=32, seed=11)
+    values = [float(v) for v in range(1_000)]
+    rs.extend(values)
+    first = list(rs)
+    rs.clear()
+    assert rs.count == 0
+    assert not rs
+    rs.extend(values)
+    assert list(rs) == first  # RNG reset: same replacement decisions
+
+
+def test_reservoir_empty_summary_and_validation():
+    from repro.analysis import ReservoirSample
+
+    with pytest.raises(ValueError):
+        ReservoirSample(capacity=0)
+    empty = ReservoirSample()
+    assert empty.summary().count == 0
+    assert empty.summary().p99 == 0.0

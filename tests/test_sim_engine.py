@@ -331,3 +331,213 @@ def test_cannot_schedule_in_past():
 def test_timeout_isinstance_event():
     eng = Engine()
     assert isinstance(eng.timeout(1.0), Timeout)
+
+# --- lazy timeout cancellation (timer-queue overhaul) ---------------------------
+
+
+def test_cancelled_timeout_never_dispatches_callbacks():
+    """Regression: a cancelled timeout used to be demoted to daemon work
+    but still *dispatched* — its callbacks ran at the stale deadline."""
+    eng = Engine()
+    fired = []
+    timeout = eng.timeout(10.0)
+    timeout.add_callback(lambda event: fired.append(event))
+    timeout.cancel()
+    eng.process(_sleep(eng, 50.0))
+    eng.run()
+    assert eng.now == 50.0  # ran past the stale deadline
+    assert fired == []
+    assert eng.events_dropped == 1
+    assert not timeout.triggered
+
+
+def _sleep(eng, delay):
+    yield eng.timeout(delay)
+
+
+def test_cancelled_timeout_does_not_hold_run_open():
+    eng = Engine()
+    timeout = eng.timeout(1_000_000.0)
+    timeout.cancel()
+    eng.run()  # must return immediately, not at t=1e6
+    assert eng.now == 0.0
+
+
+def test_cancel_after_trigger_is_noop():
+    eng = Engine()
+    timeout = eng.timeout(5.0)
+    eng.run()
+    assert timeout.triggered
+    timeout.cancel()
+    assert not timeout.cancelled
+
+
+def test_cancelled_timeout_dropped_in_heap_only_mode():
+    eng = Engine(timer_wheel=False)
+    fired = []
+    timeout = eng.timeout(10.0)
+    timeout.add_callback(fired.append)
+    timeout.cancel()
+    eng.process(_sleep(eng, 50.0))
+    eng.run()
+    assert fired == []
+    assert eng.events_dropped == 1
+
+
+# --- dispatched-flag bookkeeping (slots refactor) -------------------------------
+
+
+def test_add_callback_after_dispatch_fires_immediately():
+    """Regression: the dispatched flag used to live only as a class-level
+    fallback; it is now real per-instance state set before callbacks run."""
+    eng = Engine()
+    event = eng.event()
+    event.succeed("v")
+    eng.run()
+    late = []
+    event.add_callback(lambda e: late.append(e.value))
+    assert late == ["v"]
+
+
+def test_callback_registered_during_dispatch_is_not_lost():
+    eng = Engine()
+    event = eng.event()
+    order = []
+
+    def first(e):
+        order.append("first")
+        e.add_callback(lambda e2: order.append("second"))
+
+    event.add_callback(first)
+    event.succeed()
+    eng.run()
+    assert order == ["first", "second"]
+
+
+def test_kernel_classes_have_no_instance_dict():
+    from repro.sim import Event
+    from repro.sim.events import _Condition
+
+    eng = Engine()
+    for obj in (
+        Event(eng),
+        eng.timeout(1.0),
+        AllOf(eng, [eng.event()]),
+        AnyOf(eng, [eng.event()]),
+        eng.process(_sleep(eng, 1.0)),
+    ):
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
+    assert _Condition.__slots__  # guards against accidental slot removal
+
+
+# --- timer wheel vs heap equivalence -------------------------------------------
+
+
+def _mixed_trace(timer_wheel):
+    """A stew of near/far timeouts, cancels, and bands: returns the
+    dispatch trace (time, value) plus final counters."""
+    eng = Engine(seed=7, timer_wheel=timer_wheel, timer_band_ns=1_000.0)
+    trace = []
+
+    def body(eng):
+        rng = eng.rng.stream("mix")
+        pending = []
+        for i in range(300):
+            delay = rng.expovariate(1.0) * 1_500.0  # straddles band width
+            timeout = eng.timeout(delay, value=i)
+            timeout.add_callback(lambda e: trace.append((eng.now, e.value)))
+            pending.append(timeout)
+            if i % 3 == 0 and pending:
+                pending.pop(rng.randrange(len(pending))).cancel()
+            yield eng.timeout(rng.expovariate(1.0) * 200.0)
+
+    eng.process(body(eng))
+    eng.run()
+    return trace, eng.now, eng.events_dispatched, eng.events_dropped
+
+
+def test_timer_wheel_matches_heap_only_dispatch_order():
+    wheel = _mixed_trace(timer_wheel=True)
+    heap = _mixed_trace(timer_wheel=False)
+    assert wheel == heap
+
+
+def test_far_future_timeout_lands_in_band_and_fires():
+    eng = Engine(timer_band_ns=100.0)
+    fired = []
+    timeout = eng.timeout(12_345.6, value="far")
+    timeout.add_callback(lambda e: fired.append((eng.now, e.value)))
+    eng.run()
+    assert fired == [(12_345.6, "far")]
+    assert eng.now == 12_345.6
+
+
+def test_band_boundary_timeout_is_not_late():
+    """A deadline exactly on (or within float noise of) a band boundary
+    must never land in a later band — time would run backwards."""
+    eng = Engine(timer_band_ns=1_000.0)
+    times = []
+    for delay in (999.9999999999999, 1_000.0, 1_000.0000000000001, 2_000.0):
+        eng.timeout(delay).add_callback(lambda e: times.append(eng.now))
+    eng.run()
+    assert times == sorted(times)
+    assert eng.now == 2_000.0
+
+
+def test_engine_diagnostics_counters():
+    eng = Engine()
+    eng.timeout(1.0)
+    eng.timeout(2.0)
+    cancelled = eng.timeout(3.0)
+    cancelled.cancel()
+    assert eng.queue_length == 3
+    assert eng.peak_queue_length >= 3
+    eng.run()
+    # A bare run() stops once non-daemon work drains; the cancelled
+    # (daemon) entry is still parked, undropped, at its deadline.
+    assert eng.events_dispatched == 2
+    assert eng.events_dropped == 0
+    assert eng.queue_length == 1
+    eng.run(until=5.0)  # sail past the stale deadline: entry dropped
+    assert eng.queue_length == 0
+    assert eng.events_dropped == 1
+
+
+def test_compaction_keeps_queue_flat_under_cancel_churn():
+    """Arming and immediately disarming a guard deadline per step must
+    not accumulate dead entries: the queue compacts once cancelled
+    entries outnumber live ones."""
+    eng = Engine(seed=1)
+
+    def churn(eng, steps):
+        for _ in range(steps):
+            deadline = eng.timeout(5_000_000.0)  # far future, banded
+            yield eng.timeout(10.0)
+            deadline.cancel()
+
+    eng.process(churn(eng, 6_000))
+    eng.run()
+    # Without compaction 6k dead deadlines would sit parked until their
+    # band came due; with it the queue never exceeds a few thousand.
+    assert eng.peak_queue_length < 4_000
+    # The tail below the compaction threshold stays lazily parked until
+    # a timed run sweeps past it.
+    eng.run(until=10_000_000.0)
+    assert eng.queue_length == 0
+    assert eng.events_dropped == 6_000
+
+
+def test_compaction_applies_in_heap_only_mode():
+    eng = Engine(seed=1, timer_wheel=False)
+
+    def churn(eng, steps):
+        for _ in range(steps):
+            deadline = eng.timeout(5_000_000.0)
+            yield eng.timeout(10.0)
+            deadline.cancel()
+
+    eng.process(churn(eng, 6_000))
+    eng.run()
+    assert eng.peak_queue_length < 4_000
+    eng.run(until=10_000_000.0)
+    assert eng.events_dropped == 6_000

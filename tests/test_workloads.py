@@ -206,3 +206,134 @@ def test_open_loop_validates_inputs():
     injector = OpenLoopInjector(eng, sink, PoissonArrivals(1.0), pool=["a"])
     with pytest.raises(ValueError):
         injector.run(0)
+
+
+# -- perf-overhaul behavior: determinism, completion gate, batching -----
+
+
+class EchoService:
+    """Generator sink with real service time plus a per-request guard
+    deadline that is disarmed on completion — the cluster submit shape,
+    concentrated on the timer queue."""
+
+    def __init__(self, engine, service_ns=1_500.0):
+        self.engine = engine
+        self.service_ns = service_ns
+        self.outstanding = 0
+
+    def submit(self, request, timeout_ns):
+        engine = self.engine
+        self.outstanding += 1
+        try:
+            deadline = engine.timeout(timeout_ns)
+            yield engine.timeout(self.service_ns)
+            deadline.cancel()
+            return request
+        finally:
+            self.outstanding -= 1
+
+
+def _mixed_openloop_run(timer_wheel):
+    """Poisson phase then bursty phase on one engine, echo service with
+    guard-deadline churn throughout."""
+    eng = Engine(seed=123, timer_wheel=timer_wheel)
+    sink = EchoService(eng)
+    poisson = OpenLoopInjector(
+        eng, sink, PoissonArrivals(2_000_000.0), pool=list(range(8))
+    )
+    stats_a = eng.run_until(poisson.run(400))
+    bursty = OpenLoopInjector(
+        eng,
+        sink,
+        BurstyArrivals(500_000.0, 4_000_000.0, period_s=0.0002),
+        pool=list(range(8)),
+        seed_tag="bursty",
+    )
+    stats_b = eng.run_until(bursty.run(300))
+    return eng, stats_a, stats_b
+
+
+def test_timer_wheel_same_seed_matches_heap_only():
+    """The banded timer queue must be invisible to results: same seed,
+    same arrivals, identical completion counts, latency samples, event
+    order (via dispatch count), and final clock."""
+    wheel, wa, wb = _mixed_openloop_run(timer_wheel=True)
+    heap, ha, hb = _mixed_openloop_run(timer_wheel=False)
+    assert (wa.offered, wa.completed, wa.rejected) == (
+        ha.offered,
+        ha.completed,
+        ha.rejected,
+    )
+    assert (wb.offered, wb.completed, wb.rejected) == (
+        hb.offered,
+        hb.completed,
+        hb.rejected,
+    )
+    # Sub-capacity reservoirs hold every observation: bit-identical.
+    assert list(wa.latencies_ns) == list(ha.latencies_ns)
+    assert list(wb.latencies_ns) == list(hb.latencies_ns)
+    assert wa.stats().p99 == ha.stats().p99
+    assert wheel.now == heap.now
+    assert wheel.events_dispatched == heap.events_dispatched
+
+
+def test_counter_gate_fires_after_last_inflight_resolves():
+    eng = Engine(seed=5)
+    sink = EchoService(eng, service_ns=10_000.0)
+    injector = OpenLoopInjector(eng, sink, PoissonArrivals(5_000_000.0), pool=["r"])
+    stats = eng.run_until(injector.run(50))
+    assert stats.completed == 50
+    assert sink.outstanding == 0  # gate held until every handler resolved
+    # The injector is reusable: a fresh gate per run, cumulative stats.
+    stats2 = eng.run_until(injector.run(10))
+    assert stats2 is stats
+    assert stats.offered == 60
+    assert stats.completed == 60
+
+
+def test_second_run_while_in_flight_is_rejected():
+    eng = Engine(seed=5)
+    injector = OpenLoopInjector(
+        eng, EchoService(eng), PoissonArrivals(1_000_000.0), pool=["r"]
+    )
+    injector.run(5)
+    with pytest.raises(RuntimeError):
+        injector.run(5)
+
+
+def test_batched_admission_same_load_fewer_scheduler_events():
+    """A batch window must not change what is offered or completed —
+    only how many scheduler wakeups it takes to admit it."""
+    outcomes = []
+    scheduled = []
+    for window_ns in (0.0, 50_000.0):
+        eng = Engine(seed=9)
+        sink = EchoService(eng)
+        injector = OpenLoopInjector(
+            eng,
+            sink,
+            PoissonArrivals(1_000_000.0),
+            pool=list(range(4)),
+            batch_window_ns=window_ns,
+        )
+        stats = eng.run_until(injector.run(500))
+        outcomes.append(
+            (stats.offered, stats.admitted, stats.completed, stats.rejected)
+        )
+        scheduled.append(eng._seq)
+    assert outcomes[0] == outcomes[1]
+    assert scheduled[1] < scheduled[0]
+
+
+def test_open_loop_latencies_are_reservoir_bounded():
+    from repro.analysis import ReservoirSample
+    from repro.workloads.openloop import OpenLoopStats
+
+    stats = OpenLoopStats()
+    reservoir = stats.latencies_ns
+    assert isinstance(reservoir, ReservoirSample)
+    for value in range(reservoir.capacity + 500):
+        reservoir.append(float(value))
+    assert reservoir.count == reservoir.capacity + 500
+    assert reservoir.sample_size == reservoir.capacity  # memory stays flat
+    assert stats.stats().count == reservoir.capacity + 500
