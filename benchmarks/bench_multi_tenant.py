@@ -1,0 +1,301 @@
+"""Multi-tenant rings: packing, priority preemption, and the bitstream cache.
+
+The paper dedicates one 8-FPGA ring per service (§2.3) — right for
+planet-scale ranking, wasteful for small services that need two or
+three role nodes.  The tenancy layer carves a ring into regions so
+several services co-reside; this benchmark quantifies the three claims
+the subsystem makes:
+
+packing
+    Four half-ring tenants on two rings: every ring hosts >= 2
+    services, and aggregate throughput at equal hardware meets or
+    beats the dedicated-ring baseline — which can place only two of
+    the four services at all.
+
+preemption
+    With every ring full, applying a latency-class tenant evicts a
+    batch tenant *within one reconcile pass*; the victim is re-placed
+    onto surviving capacity in the same pass, and the co-resident
+    latency tenant it shared nothing with is never disturbed.
+
+cache
+    Re-placing a service onto a ring that recently ran its images
+    downgrades every node's reconfiguration to a ~250 µs model reload
+    (the staged-DRAM fast path) instead of the cold flash path — the
+    hit/miss counters in CapacityReport attribute the speedup.
+
+Set ``BENCH_SMOKE=1`` (or pass ``--smoke``) for the reduced CI
+configuration.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.analysis import format_table
+from repro.cluster import (
+    BitstreamCache,
+    ClusterManager,
+    ClusterScheduler,
+    InsufficientClusterCapacity,
+    ServiceSpec,
+    echo_service,
+)
+from repro.fabric import Datacenter, TorusTopology
+from repro.hardware.constants import MODEL_RELOAD_WORST_NS
+from repro.sim import Engine
+from repro.sim.units import SEC, US
+from repro.workloads import OpenLoopInjector, PoissonArrivals
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+ARRIVALS = 150 if SMOKE else 600  # per tenant
+RATE_PER_S = 40_000.0  # per tenant
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def make_dc(seed, width=2, height=8):
+    eng = Engine(seed=seed)
+    dc = Datacenter(
+        eng, num_pods=1, topology=TorusTopology(width=width, height=height)
+    )
+    return eng, dc
+
+
+def region_spec(name, fraction, priority="batch"):
+    return ServiceSpec(
+        service=echo_service(name),
+        replicas=1,
+        regions=fraction,
+        priority=priority,
+        health_period_ns=5e9,
+    )
+
+
+def drive_all(eng, handles, arrivals=ARRIVALS, rate=RATE_PER_S):
+    """Open-loop traffic into every handle concurrently; aggregate stats."""
+    pool = [object() for _ in range(32)]
+    start = eng.now
+    dones = []
+    for index, handle in enumerate(handles):
+        injector = OpenLoopInjector(
+            eng, handle, PoissonArrivals(rate), pool, seed_tag=f"tenant{index}"
+        )
+        dones.append(injector.run(arrivals))
+    for done in dones:
+        if not done.triggered:
+            eng.run_until(done)
+    elapsed_s = (eng.now - start) / SEC
+    stats = [done.value for done in dones]
+    return {
+        "tenants": len(handles),
+        "completed": sum(s.completed for s in stats),
+        "offered": sum(s.offered for s in stats),
+        "elapsed_s": elapsed_s,
+        "throughput_per_s": sum(s.completed for s in stats) / elapsed_s,
+    }
+
+
+# --- scenario 1: packing -------------------------------------------------------------
+
+
+def run_packing() -> dict:
+    """Four small services on two rings: dedicated vs region-packed."""
+    # Dedicated baseline: whole-ring placement fits only two services.
+    eng, dc = make_dc(seed=42)
+    manager = ClusterManager(dc)
+    dedicated = []
+    placed_dedicated = 0
+    for i in range(4):
+        try:
+            dedicated.append(
+                manager.apply(
+                    ServiceSpec(
+                        service=echo_service(f"ded{i}"),
+                        replicas=1,
+                        health_period_ns=5e9,
+                    )
+                )
+            )
+            placed_dedicated += 1
+        except InsufficientClusterCapacity:
+            pass
+    dedicated_run = drive_all(eng, dedicated)
+
+    # Packed: the same four services as half-ring region tenants.
+    eng, dc = make_dc(seed=42)
+    manager = ClusterManager(dc)
+    packed = [manager.apply(region_spec(f"ten{i}", 0.5)) for i in range(4)]
+    report = manager.scheduler.capacity_report()
+    tenants_per_ring = report.tenant_regions / report.occupied_rings
+    packed_run = drive_all(eng, packed)
+    return {
+        "rings": dc.total_rings,
+        "dedicated_placed": placed_dedicated,
+        "dedicated": dedicated_run,
+        "packed_placed": len(packed),
+        "packed": packed_run,
+        "tenants_per_ring": tenants_per_ring,
+        "throughput_gain": (
+            packed_run["throughput_per_s"] / dedicated_run["throughput_per_s"]
+        ),
+    }
+
+
+# --- scenario 2: priority preemption -------------------------------------------------
+
+
+def run_preemption() -> dict:
+    """A latency tenant evicts a batch tenant in one reconcile pass."""
+    _eng, dc = make_dc(seed=7, width=3)
+    manager = ClusterManager(dc)
+    victim = manager.apply(region_spec("victim", 0.75, priority="batch"))
+    keeper = manager.apply(region_spec("keeper", 0.5, priority="latency"))
+    keeper_before = keeper.deployments[0]
+    # The third ring has a bad node run: held out, not free.
+    spoiled = [s for s in dc.ring_slots() if s.ring_x == 2][0]
+    bad = [server.node_id for server in dc.ring_servers(spoiled)][:2]
+    manager.scheduler.cordon_region(spoiled, bad, reason="bad cable")
+
+    passes_before = len(manager.reconcile_reports)
+    urgent = manager.apply(region_spec("urgent", 1.0, priority="latency"))
+    report = manager.reconcile_reports[-1]
+    kinds = [action.kind for action in report.actions]
+    return {
+        "reconcile_passes": len(manager.reconcile_reports) - passes_before,
+        "actions": kinds,
+        "preemptions": kinds.count("preempt"),
+        "urgent_ready": urgent.status().ready_replicas,
+        "victim_ready": victim.status().ready_replicas,
+        "victim_slot": str(manager.scheduler.slot_of(victim.deployments[0])),
+        "urgent_slot": str(manager.scheduler.slot_of(urgent.deployments[0])),
+        "keeper_undisturbed": keeper.deployments[0] is keeper_before,
+    }
+
+
+# --- scenario 3: bitstream cache -----------------------------------------------------
+
+
+def run_cache() -> dict:
+    """Cold vs warm re-placement of a region tenant onto the same ring."""
+    timings = {}
+    counters = {}
+    for label, cache in (("cold", None), ("warm", BitstreamCache())):
+        eng, dc = make_dc(seed=11)
+        scheduler = ClusterScheduler(dc, bitstream_cache=cache)
+        service = echo_service("tenant")
+        first = scheduler.deploy_region(service, 0.5)
+        scheduler.release(first)
+        start = eng.now
+        scheduler.deploy_region(service, 0.5)
+        timings[label] = eng.now - start
+        report = scheduler.capacity_report()
+        counters[label] = (report.bitstream_hits, report.bitstream_misses)
+    return {
+        "cold_ns": timings["cold"],
+        "warm_ns": timings["warm"],
+        "speedup": timings["cold"] / timings["warm"],
+        "model_reload_ns": MODEL_RELOAD_WORST_NS,
+        "hits": counters["warm"][0],
+        "misses": counters["warm"][1],
+    }
+
+
+# --- harness -------------------------------------------------------------------------
+
+
+def run_experiment() -> dict:
+    return {
+        "packing": run_packing(),
+        "preemption": run_preemption(),
+        "cache": run_cache(),
+    }
+
+
+def build_table(r: dict) -> str:
+    packing, preempt, cache = r["packing"], r["preemption"], r["cache"]
+    rows = [
+        ("rings (equal hardware)", packing["rings"]),
+        ("services placed dedicated / packed",
+         f"{packing['dedicated_placed']} / {packing['packed_placed']}"),
+        ("tenants per occupied ring (packed)",
+         f"{packing['tenants_per_ring']:.1f}"),
+        ("aggregate throughput dedicated (docs/s)",
+         f"{packing['dedicated']['throughput_per_s']:,.0f}"),
+        ("aggregate throughput packed (docs/s)",
+         f"{packing['packed']['throughput_per_s']:,.0f}"),
+        ("packed / dedicated throughput", f"{packing['throughput_gain']:.2f}x"),
+        ("preemption reconcile passes", preempt["reconcile_passes"]),
+        ("batch tenants evicted", preempt["preemptions"]),
+        ("latency tenant ready / victim re-placed",
+         f"{preempt['urgent_ready']} / {preempt['victim_ready']}"),
+        ("victim re-placed onto", preempt["victim_slot"]),
+        ("co-resident latency tenant undisturbed",
+         str(preempt["keeper_undisturbed"])),
+        ("cold re-placement", f"{cache['cold_ns'] / US:,.0f} us"),
+        ("warm re-placement", f"{cache['warm_ns'] / US:,.0f} us"),
+        ("cache speedup", f"{cache['speedup']:,.0f}x"),
+        ("cache hits / misses", f"{cache['hits']} / {cache['misses']}"),
+    ]
+    return format_table(
+        ["quantity", "value"],
+        rows,
+        title=(
+            "Multi-tenant rings — region packing beats dedicated rings at\n"
+            "equal hardware, latency preempts batch in one reconcile pass,\n"
+            "and the bitstream cache turns re-placement into a model reload"
+        ),
+    )
+
+
+def check(r: dict) -> None:
+    packing, preempt, cache = r["packing"], r["preemption"], r["cache"]
+    # (a) >= 2 tenants per ring; packed aggregate >= dedicated baseline.
+    assert packing["tenants_per_ring"] >= 2
+    assert packing["packed_placed"] > packing["dedicated_placed"]
+    assert (
+        packing["packed"]["throughput_per_s"]
+        >= packing["dedicated"]["throughput_per_s"]
+    )
+    # (b) one pass, one eviction, nobody dropped below replica count.
+    assert preempt["reconcile_passes"] == 1
+    assert preempt["preemptions"] == 1
+    assert preempt["urgent_ready"] == 1
+    assert preempt["victim_ready"] == 1
+    assert preempt["keeper_undisturbed"]
+    # (c) warm re-placement is model-reload-class, counters tie out.
+    assert cache["warm_ns"] == MODEL_RELOAD_WORST_NS
+    assert cache["warm_ns"] < cache["cold_ns"] / 50
+    assert cache["hits"] == 4  # every node of the half-ring region was staged
+    assert cache["misses"] > 0
+
+
+def write_json(r: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "multi_tenant.json").write_text(
+        json.dumps(r, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def test_multi_tenant_rings(benchmark, record):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    check(r)
+    record("multi_tenant", build_table(r))
+    write_json(r)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced configuration (CI)"
+    )
+    args = parser.parse_args()
+    if args.smoke and not SMOKE:
+        SMOKE = True
+        ARRIVALS = 150
+    r = run_experiment()
+    check(r)
+    print(build_table(r))
+    write_json(r)

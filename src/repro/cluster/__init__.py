@@ -34,6 +34,10 @@ Mechanism
     front end live in :mod:`repro.workloads.openloop`.
 """
 
+from repro.cluster.bitstream_cache import (
+    BitstreamCache,
+    CACHED_RELOAD_NS,
+)
 from repro.cluster.composite import CompositeDeployment
 from repro.cluster.deployment import Deployment, InjectorStats, RequestAdapter
 from repro.cluster.echo import EchoRole, echo_service
@@ -64,12 +68,24 @@ from repro.cluster.scheduler import (
     PLACEMENT_POLICIES,
     PlacementDecision,
     PlacementFailed,
+    PodCapacity,
 )
 from repro.cluster.spec import ServiceSpec
+from repro.cluster.tenancy import (
+    PRIORITIES,
+    PRIORITY_WEIGHT,
+    RegionClaim,
+    RingTenancy,
+    pack_first_fit_decreasing,
+    region_node_count,
+    slot_quota,
+)
 from repro.fabric.datacenter import RingSlot
 
 __all__ = [
     "BALANCING_POLICIES",
+    "BitstreamCache",
+    "CACHED_RELOAD_NS",
     "CapacityReport",
     "ClusterFailureInjector",
     "ClusterManager",

@@ -25,7 +25,11 @@ import typing
 from repro.analysis import LatencyStats, ReservoirSample, ThroughputMeter
 from repro.fabric.pod import Pod
 from repro.fabric.server import Server
-from repro.host.slots import RequestTimeout, SlotClient
+from repro.host.slots import (
+    RequestTimeout,
+    SlotClient,
+    shared_slot_allocator,
+)
 from repro.services.mapping_manager import (
     MappingManager,
     RingAssignment,
@@ -81,6 +85,7 @@ class Deployment:
         adapter: RequestAdapter | None = None,
         mapping_manager: MappingManager | None = None,
         slots_per_server: int = 48,
+        region=None,  # RegionClaim when this is a tenant of a shared ring
     ):
         self.engine = engine
         self.pod = pod
@@ -89,6 +94,7 @@ class Deployment:
         self.adapter = adapter or RequestAdapter()
         self.mapping_manager = mapping_manager or MappingManager(engine, pod)
         self.slots_per_server = slots_per_server
+        self.region = region
         self.assignment: RingAssignment | None = None
         self.released = False  # set when the scheduler reclaims the ring
         self.meter = ThroughputMeter(engine)
@@ -97,11 +103,15 @@ class Deployment:
         self.timeouts = 0
         self.outstanding = 0  # dispatched via submit(), not yet resolved
         self._lease_stores: dict[str, Store] = {}
+        self._owned_slots: list[tuple[Server, list[int]]] = []
         self._injection_cycle: typing.Iterator[Server] | None = None
 
     @property
     def name(self) -> str:
-        return f"{self.service.name}@pod{self.pod.pod_id}/ring{self.ring_x}"
+        base = f"{self.service.name}@pod{self.pod.pod_id}/ring{self.ring_x}"
+        if self.region is not None:
+            return f"{base}/region{self.region.index}"
+        return base
 
     # -- deployment ------------------------------------------------------------
 
@@ -113,9 +123,11 @@ class Deployment:
 
         Split from :meth:`finish_deploy` so the scheduler can overlap
         the ~1 s full-ring reconfigurations of a gang's members when
-        they sit in different pods.
+        they sit in different pods.  A region tenant configures only
+        its granted node run, not the whole ring.
         """
-        return self.mapping_manager.deploy(self.service, self.ring_x)
+        nodes = list(self.region.nodes) if self.region is not None else None
+        return self.mapping_manager.deploy(self.service, self.ring_x, nodes=nodes)
 
     def finish_deploy(self, done: Event) -> RingAssignment:
         """Wait out a :meth:`begin_deploy` and adopt the assignment."""
@@ -168,11 +180,33 @@ class Deployment:
         if store is None:
             client = SlotClient(server)
             store = Store(self.engine, name=f"leases:{self.name}:{server.machine_id}")
-            count = min(self.slots_per_server, server.buffers.slot_count)
-            for lease in client.leases(count):
+            if self.region is not None:
+                # Co-resident tenants share the ring's servers: draw the
+                # weighted fair-share quota from the server's shared
+                # allocator so slot ids never collide across tenants.
+                allocator = shared_slot_allocator(server)
+                quota = min(self.region.slot_quota, server.buffers.slot_count)
+                slot_ids = allocator.acquire(quota, owner=self.name)
+                self._owned_slots.append((server, slot_ids))
+                leases = [client.lease_for(slot_id) for slot_id in slot_ids]
+            else:
+                count = min(self.slots_per_server, server.buffers.slot_count)
+                leases = client.leases(count)
+            for lease in leases:
                 store.try_put(lease)
             self._lease_stores[server.machine_id] = store
         return store
+
+    def release_slots(self) -> None:
+        """Return quota slots to the shared allocators (region tenants).
+
+        Called by the scheduler on release so a successor tenant of the
+        same servers can acquire a full quota.
+        """
+        for server, slot_ids in self._owned_slots:
+            shared_slot_allocator(server).release(slot_ids)
+        self._owned_slots.clear()
+        self._lease_stores.clear()
 
     def _next_injection_server(self) -> Server:
         if self._injection_cycle is None:

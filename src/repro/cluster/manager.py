@@ -217,13 +217,20 @@ class ClusterManager:
         datacenter: Datacenter,
         default_placement: str = "spread",
         repair_policy: RepairPolicy | None = None,
+        bitstream_cache=None,  # opt-in BitstreamCache for re-placements
     ):
         self.datacenter = datacenter
         self.engine: Engine = datacenter.engine
-        self.scheduler = ClusterScheduler(datacenter, policy=default_placement)
+        self.scheduler = ClusterScheduler(
+            datacenter, policy=default_placement, bitstream_cache=bitstream_cache
+        )
         self.handles: dict[str, ServiceHandle] = {}
         self.reconcile_reports: list[ReconcileReport] = []
         self._health_monitors: dict[int, HealthMonitor] = {}
+        # Services whose batch tenants a latency placement evicted;
+        # drained (re-placed elsewhere) before the pass that evicted
+        # them returns.
+        self._preempted: list[str] = []
         # Convergence passes must not overlap: placing a replica spans
         # simulated time (a ~1 s ring reconfiguration inside a nested
         # run), during which a watchdog tick or repair callback could
@@ -291,6 +298,7 @@ class ClusterManager:
                 if placed is None:
                     break
                 deployments.append(placed)
+            actions.extend(self._drain_preempted())
         finally:
             self._converging = False
         if not deployments:
@@ -361,6 +369,7 @@ class ClusterManager:
             for one in handles:
                 if one.active:
                     actions.extend(self._reconcile_one(one))
+            actions.extend(self._drain_preempted())
         finally:
             self._converging = False
         report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
@@ -401,9 +410,17 @@ class ClusterManager:
                 continue
             for member in self._member_rings(replica):
                 dead = member.health_weight() == 0.0
+                region = getattr(member, "region", None)
                 slot = self.scheduler.release(member)
                 if dead:
-                    self.scheduler.cordon(slot, reason="spares exhausted")
+                    if region is not None:
+                        # Only the tenant's node run is bad hardware;
+                        # co-resident tenants keep serving the ring.
+                        self.scheduler.cordon_region(
+                            slot, region.nodes, reason="spares exhausted"
+                        )
+                    else:
+                        self.scheduler.cordon(slot, reason="spares exhausted")
                 actions.append(
                     ReconcileAction(
                         spec.name,
@@ -521,7 +538,15 @@ class ClusterManager:
         actions: list[ReconcileAction] = []
         while True:
             try:
-                if spec.rings_per_replica == 1:
+                if spec.regions is not None:
+                    placed = self.scheduler.deploy_region(
+                        spec.service,
+                        spec.regions,
+                        priority=spec.priority,
+                        adapter=spec.adapter,
+                        slots_per_server=spec.slots_per_server,
+                    )
+                elif spec.rings_per_replica == 1:
                     (placed,) = self.scheduler.deploy(
                         spec.service,
                         rings=1,
@@ -542,10 +567,19 @@ class ClusterManager:
                     )
             except PlacementFailed as failure:
                 # The chosen slot turned out to have bad hardware the
-                # scheduler had no record of; hold it out and retry.
-                self.scheduler.cordon(
-                    failure.slot, reason=f"configure failed: {failure.cause}"
-                )
+                # scheduler had no record of; hold it out and retry.  A
+                # failed *region* cordons only its node run — the
+                # ring's other tenants are unaffected.
+                if failure.nodes:
+                    self.scheduler.cordon_region(
+                        failure.slot,
+                        failure.nodes,
+                        reason=f"configure failed: {failure.cause}",
+                    )
+                else:
+                    self.scheduler.cordon(
+                        failure.slot, reason=f"configure failed: {failure.cause}"
+                    )
                 actions.append(
                     ReconcileAction(
                         spec.name, "cordon", failure.slot, detail=str(failure.cause)
@@ -553,6 +587,16 @@ class ClusterManager:
                 )
                 continue
             except InsufficientClusterCapacity as exc:
+                if spec.regions is not None and spec.priority == "latency":
+                    # Priority preemption: a latency tenant may evict a
+                    # batch tenant's region; the victim's service is
+                    # re-placed elsewhere before this pass returns.
+                    victim = self.scheduler.preemption_victim(
+                        spec.service, spec.regions
+                    )
+                    if victim is not None:
+                        actions.append(self._preempt(victim, spec))
+                        continue
                 actions.append(
                     ReconcileAction(spec.name, "shortfall", None, detail=str(exc))
                 )
@@ -574,6 +618,50 @@ class ClusterManager:
                 )
             )
             return placed, actions
+
+    # -- priority preemption (region tenants) ----------------------------------
+
+    def _preempt(self, victim: Deployment, spec: "ServiceSpec") -> ReconcileAction:
+        """Evict ``victim`` (a batch region tenant) for ``spec``.
+
+        The victim leaves its front-end rotation, drains its in-flight
+        requests (bounded by its own timeout), and its region is
+        released; its service is queued for re-placement elsewhere via
+        :meth:`_drain_preempted` before the evicting pass returns.
+        """
+        region = victim.region
+        slot = self.scheduler.slot_of(victim)
+        victim_handle = self.handles.get(region.service)
+        if (
+            victim_handle is not None
+            and victim in victim_handle.balancer.deployments
+        ):
+            victim_handle.balancer.deployments.remove(victim)
+            self._quiesce(victim, bound_ns=victim_handle.spec.request_timeout_ns)
+            victim_handle.retired.append(victim)
+            if victim_handle.name not in self._preempted:
+                self._preempted.append(victim_handle.name)
+        self.scheduler.release(victim)
+        return ReconcileAction(
+            spec.name,
+            "preempt",
+            slot,
+            detail=f"evicted batch tenant {region.service!r}",
+        )
+
+    def _drain_preempted(self) -> list[ReconcileAction]:
+        """Re-place the services whose tenants this pass evicted.
+
+        Evicted tenants are batch priority and batch placements never
+        preempt, so the drain cannot cascade; at worst a victim lands
+        in shortfall and the next repair/reconcile picks it up.
+        """
+        actions: list[ReconcileAction] = []
+        while self._preempted:
+            victim_handle = self.handles.get(self._preempted.pop(0))
+            if victim_handle is not None and victim_handle.active:
+                actions.extend(self._reconcile_one(victim_handle))
+        return actions
 
     # -- rolling in-place upgrades ---------------------------------------------
 
@@ -653,6 +741,7 @@ class ClusterManager:
             # must not start a competing pass mid-placement.
             handle._upgrading = False
             actions.extend(self._reconcile_one(handle))
+            actions.extend(self._drain_preempted())
         finally:
             handle._upgrading = False
             self._converging = False

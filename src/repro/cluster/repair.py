@@ -230,6 +230,10 @@ class RepairQueue:
         ticket.components_serviced = self.datacenter.service_ring(ticket.slot)
         if ticket.slot in self.scheduler.cordoned_slots:
             self.scheduler.uncordon(ticket.slot)
+        # Serviced boards return with empty staging DRAM and good
+        # hardware: drop the slot's cached images and lift any
+        # region-granular cordons (shared-ring tenancy).
+        self.scheduler.slot_serviced(ticket.slot)
         for callback in list(self.on_repaired):
             callback(ticket)
 

@@ -26,6 +26,13 @@ import dataclasses
 import typing
 
 from repro.cluster.deployment import Deployment, RequestAdapter
+from repro.cluster.tenancy import (
+    RegionClaim,
+    RingTenancy,
+    check_region_fit,
+    pack_first_fit_decreasing,
+    region_node_count,
+)
 from repro.fabric.datacenter import Datacenter, RingSlot
 from repro.hardware.fpga import FpgaState, ReconfigError
 from repro.services.mapping_manager import (
@@ -35,6 +42,7 @@ from repro.services.mapping_manager import (
 )
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.bitstream_cache import BitstreamCache
     from repro.cluster.repair import RepairQueue
 
 PLACEMENT_POLICIES = ("spread", "pack")
@@ -51,10 +59,13 @@ class PlacementFailed(Exception):
     different ring.
     """
 
-    def __init__(self, slot: RingSlot, cause: Exception):
+    def __init__(self, slot: RingSlot, cause: Exception, nodes: tuple = ()):
         super().__init__(f"placement on {slot} failed: {cause}")
         self.slot = slot
         self.cause = cause
+        # For a region placement: the node run that failed to
+        # configure, so the control plane can cordon just that region.
+        self.nodes = tuple(nodes)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,6 +78,19 @@ class PlacementDecision:
 
 
 @dataclasses.dataclass(frozen=True)
+class PodCapacity:
+    """One pod's ring/region accounting inside a :class:`CapacityReport`."""
+
+    pod_id: int
+    total_rings: int
+    free_rings: int
+    occupied_rings: int
+    cordoned_rings: int
+    tenant_regions: int  # region claims on this pod's shared rings
+    cordoned_regions: int  # region-granular cordons (bad node runs)
+
+
+@dataclasses.dataclass(frozen=True)
 class CapacityReport:
     """Ring-granular capacity accounting for the whole datacenter.
 
@@ -75,6 +99,16 @@ class CapacityReport:
     in flight and ``next_repair_due_ns`` is when the earliest of them
     returns to the pool — so capacity planners can distinguish "gone"
     from "coming back, and when".
+
+    Tenancy-aware: a shared ring hosting region tenants counts as one
+    occupied ring; ``tenant_regions`` counts the claims packed onto
+    such rings and ``cordoned_regions`` the node runs held out at
+    region granularity.  ``per_pod`` breaks every ring/region figure
+    down by pod for the packer and future autoscalers (the per-pod
+    figures always sum to the datacenter totals).  With a
+    :class:`~repro.cluster.bitstream_cache.BitstreamCache` attached,
+    ``bitstream_hits``/``bitstream_misses`` attribute re-placement
+    speedups to staged images.
     """
 
     total_rings: int
@@ -83,6 +117,11 @@ class CapacityReport:
     cordoned_rings: int = 0  # held out pending manual service
     open_tickets: int = 0  # cordoned rings with a repair in flight
     next_repair_due_ns: float | None = None
+    tenant_regions: int = 0  # region claims across shared rings
+    cordoned_regions: int = 0  # region-granular cordons
+    bitstream_hits: int = 0
+    bitstream_misses: int = 0
+    per_pod: dict = dataclasses.field(default_factory=dict)
 
     @property
     def free_rings(self) -> int:
@@ -102,7 +141,12 @@ class CapacityReport:
 class ClusterScheduler:
     """Places service instances onto free torus rings across pods."""
 
-    def __init__(self, datacenter: Datacenter, policy: str = "spread"):
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        policy: str = "spread",
+        bitstream_cache: "BitstreamCache | None" = None,
+    ):
         if policy not in PLACEMENT_POLICIES:
             raise ValueError(
                 f"unknown placement policy {policy!r}; "
@@ -114,25 +158,42 @@ class ClusterScheduler:
         self.decisions: list[PlacementDecision] = []
         self._occupied: dict[RingSlot, Deployment] = {}
         self._cordoned: dict[RingSlot, str] = {}  # slot -> cordon reason
+        self._tenancies: dict[RingSlot, RingTenancy] = {}  # shared rings
         self._mapping_managers: dict[int, MappingManager] = {}
         self._next_pod_id = 0  # spread policy's round-robin cursor
         self.repair_queue: "RepairQueue | None" = None
+        self.bitstream_cache = bitstream_cache
 
     # -- resource view ---------------------------------------------------------
 
     def mapping_manager(self, pod_id: int) -> MappingManager:
         """The (shared, per-pod) mapping manager for ``pod_id``."""
         if pod_id not in self._mapping_managers:
-            self._mapping_managers[pod_id] = MappingManager(
-                self.engine, self.datacenter.pod(pod_id)
-            )
+            manager = MappingManager(self.engine, self.datacenter.pod(pod_id))
+            manager.bitstream_cache = self.bitstream_cache
+            self._mapping_managers[pod_id] = manager
         return self._mapping_managers[pod_id]
+
+    def set_bitstream_cache(self, cache: "BitstreamCache | None") -> None:
+        """Attach (or detach) the bitstream cache, fleet-wide."""
+        self.bitstream_cache = cache
+        for manager in self._mapping_managers.values():
+            manager.bitstream_cache = cache
 
     def free_slots(self) -> list[RingSlot]:
         return [
             slot for slot in self.datacenter.ring_slots()
-            if slot not in self._occupied and slot not in self._cordoned
+            if slot not in self._occupied
+            and slot not in self._cordoned
+            and slot not in self._tenancies
         ]
+
+    def tenancy_of(self, slot: RingSlot) -> RingTenancy | None:
+        """The shared-ring ledger for ``slot``, if it hosts tenants."""
+        return self._tenancies.get(slot)
+
+    def tenancies(self) -> list[RingTenancy]:
+        return [self._tenancies[slot] for slot in sorted(self._tenancies)]
 
     def attach_repair_queue(self, queue: "RepairQueue") -> None:
         """Ticket every cordon through ``queue`` from now on.
@@ -149,6 +210,11 @@ class ClusterScheduler:
         self.repair_queue = queue
         for slot, reason in self._cordoned.items():
             queue.open_ticket(slot, reason=reason)
+        for slot, tenancy in self._tenancies.items():
+            if tenancy.cordoned:
+                queue.open_ticket(
+                    slot, reason=next(iter(tenancy.cordoned.values()))
+                )
 
     def cordon(self, slot: RingSlot, reason: str = "") -> None:
         """Hold ``slot`` out of placement (bad hardware awaiting service).
@@ -163,9 +229,57 @@ class ClusterScheduler:
             raise ValueError(f"{slot} is not a ring of this datacenter")
         if slot in self._occupied:
             raise ValueError(f"{slot} is occupied; release it first")
+        if slot in self._tenancies:
+            raise ValueError(
+                f"{slot} is a shared ring; use cordon_region for its "
+                "node runs"
+            )
         self._cordoned.setdefault(slot, reason)
         if self.repair_queue is not None:
             self.repair_queue.open_ticket(slot, reason=reason)
+
+    def cordon_region(
+        self, slot: RingSlot, nodes: typing.Sequence, reason: str = ""
+    ) -> None:
+        """Hold one region's node run out of ``slot``'s free pool.
+
+        The slot keeps serving its other tenants; only the bad run
+        leaves the pool.  With a repair queue attached a (slot-level)
+        service ticket is opened — the technician services the whole
+        ring's broken components on one visit, which lifts every region
+        cordon via :meth:`slot_serviced`.
+        """
+        if slot not in self.datacenter.ring_slots():
+            raise ValueError(f"{slot} is not a ring of this datacenter")
+        if slot in self._cordoned:
+            raise ValueError(f"{slot} is already cordoned whole")
+        tenancy = self._tenancies.get(slot)
+        if tenancy is None:
+            ring_nodes = [
+                server.node_id
+                for server in self.datacenter.pod(slot.pod_id).ring(slot.ring_x)
+            ]
+            tenancy = RingTenancy(slot, ring_nodes)
+            self._tenancies[slot] = tenancy
+        tenancy.cordon_region(tuple(nodes), reason)
+        if self.repair_queue is not None:
+            self.repair_queue.open_ticket(slot, reason=reason)
+
+    def slot_serviced(self, slot: RingSlot) -> None:
+        """Post-repair hook: ``slot``'s hardware was just serviced.
+
+        Serviced boards come back with empty staging DRAM, so every
+        image the bitstream cache had for the ring's nodes is gone; and
+        region cordons lift — the bad node runs are bad no longer.
+        """
+        if self.bitstream_cache is not None:
+            for server in self.datacenter.ring_servers(slot):
+                self.bitstream_cache.invalidate(server.machine_id)
+        tenancy = self._tenancies.get(slot)
+        if tenancy is not None:
+            tenancy.clear_cordons()
+            if tenancy.empty:
+                del self._tenancies[slot]
 
     def uncordon(self, slot: RingSlot) -> None:
         """Return a cordoned slot to the placement pool (post-repair).
@@ -190,30 +304,93 @@ class ClusterScheduler:
         return sorted(self._cordoned)
 
     def is_occupied(self, slot: RingSlot) -> bool:
-        """Whether a deployment currently holds ``slot``."""
-        return slot in self._occupied
+        """Whether a deployment (or any region tenant) holds ``slot``."""
+        if slot in self._occupied:
+            return True
+        tenancy = self._tenancies.get(slot)
+        return tenancy is not None and bool(tenancy.claims)
 
     def slot_of(self, deployment: Deployment) -> RingSlot:
         """The ring slot ``deployment`` occupies."""
+        region = getattr(deployment, "region", None)
+        if region is not None:
+            tenancy = self._tenancies.get(region.slot)
+            if tenancy is not None and tenancy.occupants.get(region.service) is deployment:
+                return region.slot
+            raise KeyError(f"{deployment.name} is not placed by this scheduler")
         for slot, occupant in self._occupied.items():
             if occupant is deployment:
                 return slot
         raise KeyError(f"{deployment.name} is not placed by this scheduler")
 
     def deployments(self) -> list[Deployment]:
-        return [self._occupied[slot] for slot in sorted(self._occupied)]
+        whole = [self._occupied[slot] for slot in sorted(self._occupied)]
+        tenants = [
+            tenancy.occupants[service]
+            for tenancy in self.tenancies()
+            for service in sorted(tenancy.claims)
+            if service in tenancy.occupants
+        ]
+        return whole + tenants
 
     def capacity_report(self) -> CapacityReport:
         queue = self.repair_queue
+        cache = self.bitstream_cache
+        per_pod: dict[int, PodCapacity] = {}
+        by_pod: dict[int, list[RingSlot]] = {}
+        for slot in self.datacenter.ring_slots():
+            by_pod.setdefault(slot.pod_id, []).append(slot)
+        totals = {"occupied": 0, "cordoned": 0, "regions": 0, "region_cordons": 0}
+        for pod_id in sorted(by_pod):
+            occupied = cordoned = regions = region_cordons = 0
+            for slot in by_pod[pod_id]:
+                tenancy = self._tenancies.get(slot)
+                if tenancy is not None:
+                    regions += len(tenancy.claims)
+                    region_cordons += len(tenancy.cordoned)
+                    if tenancy.claims:
+                        occupied += 1
+                    else:
+                        # Only cordoned node runs remain: the ring is
+                        # out of the free pool but hosts nobody.
+                        cordoned += 1
+                elif slot in self._occupied:
+                    occupied += 1
+                elif slot in self._cordoned:
+                    cordoned += 1
+            per_pod[pod_id] = PodCapacity(
+                pod_id=pod_id,
+                total_rings=len(by_pod[pod_id]),
+                free_rings=len(by_pod[pod_id]) - occupied - cordoned,
+                occupied_rings=occupied,
+                cordoned_rings=cordoned,
+                tenant_regions=regions,
+                cordoned_regions=region_cordons,
+            )
+            totals["occupied"] += occupied
+            totals["cordoned"] += cordoned
+            totals["regions"] += regions
+            totals["region_cordons"] += region_cordons
+        spares = sum(
+            deployment.spare_count for deployment in self._occupied.values()
+        )
+        spares += sum(
+            occupant.spare_count
+            for tenancy in self._tenancies.values()
+            for occupant in tenancy.occupants.values()
+        )
         return CapacityReport(
             total_rings=self.datacenter.total_rings,
-            occupied_rings=len(self._occupied),
-            total_spare_nodes=sum(
-                deployment.spare_count for deployment in self._occupied.values()
-            ),
-            cordoned_rings=len(self._cordoned),
+            occupied_rings=totals["occupied"],
+            total_spare_nodes=spares,
+            cordoned_rings=totals["cordoned"],
             open_tickets=len(queue.open_tickets) if queue is not None else 0,
             next_repair_due_ns=queue.next_due_ns() if queue is not None else None,
+            tenant_regions=totals["regions"],
+            cordoned_regions=totals["region_cordons"],
+            bitstream_hits=cache.hits if cache is not None else 0,
+            bitstream_misses=cache.misses if cache is not None else 0,
+            per_pod=per_pod,
         )
 
     # -- placement -------------------------------------------------------------
@@ -442,6 +619,122 @@ class ClusterScheduler:
         )
         return [placed[slot] for slot in chosen]
 
+    # -- region tenancy (shared rings) -----------------------------------------
+
+    @staticmethod
+    def pack_regions(requests: list) -> list[list[str]]:
+        """Plan an FFD packing of ``(name, fraction)`` region requests.
+
+        Pure planning — no placement happens.  Feeding requests to
+        :meth:`deploy_region` largest-first realises the same packing,
+        since deploy_region is first-fit over rings in slot order.
+        """
+        return pack_first_fit_decreasing(requests)
+
+    def deploy_region(
+        self,
+        service: ServiceDefinition,
+        fraction: float,
+        priority: str = "batch",
+        adapter: RequestAdapter | None = None,
+        slots_per_server: int = 48,
+    ) -> Deployment:
+        """Place ``service`` as a region tenant on a shared ring.
+
+        First-fit: the first already-shared ring (in slot order) with a
+        large-enough free node run takes the claim; otherwise the first
+        free ring opens as a new shared ring.  One claim per service
+        per ring, so a service's replicas land on different rings.
+        Raises :class:`InsufficientClusterCapacity` when no ring can
+        host the region, and :class:`PlacementFailed` (carrying the
+        region's nodes) when the chosen run fails to configure.
+        """
+        chosen: RingSlot | None = None
+        tenancy: RingTenancy | None = None
+        node_count = 0
+        for slot in sorted(self._tenancies):
+            candidate = self._tenancies[slot]
+            count = region_node_count(service, fraction, len(candidate.ring_nodes))
+            if candidate.can_host(service.name, count):
+                chosen, tenancy, node_count = slot, candidate, count
+                break
+        if chosen is None:
+            free = self.free_slots()
+            if not free:
+                raise InsufficientClusterCapacity(
+                    f"no ring with a free {fraction:.2f} region for "
+                    f"{service.name!r}"
+                )
+            chosen = free[0]
+            ring_nodes = [
+                server.node_id
+                for server in self.datacenter.pod(chosen.pod_id).ring(chosen.ring_x)
+            ]
+            tenancy = RingTenancy(chosen, ring_nodes)
+            node_count = region_node_count(service, fraction, len(ring_nodes))
+            if node_count > len(ring_nodes):
+                raise InsufficientClusterCapacity(
+                    f"service {service.name!r} needs {node_count} nodes, "
+                    f"rings have {len(ring_nodes)}"
+                )
+            self._tenancies[chosen] = tenancy
+        pod = self.datacenter.pod(chosen.pod_id)
+        check_region_fit(service, pod.server_at(tenancy.ring_nodes[0]).fpga.device)
+        claim = tenancy.claim(
+            service.name, fraction, priority, node_count, slots_per_server
+        )
+        deployment = Deployment(
+            self.engine,
+            pod,
+            service,
+            ring_x=chosen.ring_x,
+            adapter=adapter,
+            mapping_manager=self.mapping_manager(chosen.pod_id),
+            slots_per_server=slots_per_server,
+            region=claim,
+        )
+        try:
+            deployment.deploy()
+        except (InsufficientRingCapacity, ReconfigError) as exc:
+            tenancy.release(claim)
+            if tenancy.empty:
+                del self._tenancies[chosen]
+            raise PlacementFailed(chosen, exc, nodes=claim.nodes)
+        tenancy.occupants[service.name] = deployment
+        self.decisions.append(
+            PlacementDecision(
+                service=service.name, slot=chosen, spares=deployment.spare_count
+            )
+        )
+        return deployment
+
+    def preemption_victim(
+        self, service: ServiceDefinition, fraction: float
+    ) -> Deployment | None:
+        """A batch tenant whose eviction would make room for ``service``.
+
+        Scans shared rings in slot order; on each, batch-priority
+        claims in claim order.  Returns the first occupant whose region
+        plus the ring's current free run covers the needed node count —
+        or ``None`` when no eviction helps (the caller records a
+        shortfall instead of evicting pointlessly).
+        """
+        for slot in sorted(self._tenancies):
+            tenancy = self._tenancies[slot]
+            if service.name in tenancy.claims:
+                continue
+            needed = region_node_count(service, fraction, len(tenancy.ring_nodes))
+            for name in sorted(tenancy.claims):
+                claim = tenancy.claims[name]
+                if claim.priority != "batch":
+                    continue
+                occupant = tenancy.occupants.get(name)
+                if occupant is None:
+                    continue
+                if len(tenancy.free_nodes()) + len(claim.nodes) >= needed:
+                    return occupant
+        return None
+
     def release(self, deployment: Deployment) -> RingSlot:
         """Return a deployment's ring to the free pool (scale-down).
 
@@ -453,7 +746,14 @@ class ClusterScheduler:
         dispatch.  The freed slot is immediately redeployable — the next
         deploy reconfigures the ring with the new service's images, with
         any permanently failed hardware pre-mapped-out.
+
+        A region tenant's release frees only its claim: the tenancy
+        (and the ring) persists while other tenants or region cordons
+        remain.
         """
+        region: RegionClaim | None = getattr(deployment, "region", None)
+        if region is not None:
+            return self._release_region(deployment, region)
         slot = self.slot_of(deployment)
         del self._occupied[slot]
         manager = deployment.mapping_manager
@@ -470,6 +770,32 @@ class ClusterScheduler:
                     server.shell.attach_role(spare.factory(assignment, spare.name))
         deployment.released = True
         return slot
+
+    def _release_region(
+        self, deployment: Deployment, region: RegionClaim
+    ) -> RingSlot:
+        tenancy = self._tenancies.get(region.slot)
+        if tenancy is None or tenancy.occupants.get(region.service) is not deployment:
+            raise KeyError(f"{deployment.name} is not placed by this scheduler")
+        del tenancy.occupants[region.service]
+        tenancy.release(region)
+        manager = deployment.mapping_manager
+        if deployment.assignment in manager.assignments:
+            manager.assignments.remove(deployment.assignment)
+        assignment = deployment.assignment
+        if assignment is not None:
+            spare = deployment.service.spare
+            for node in assignment.ring_nodes:
+                if node in assignment.excluded:
+                    continue
+                server = deployment.pod.server_at(node)
+                if server.fpga.state is FpgaState.CONFIGURED:
+                    server.shell.attach_role(spare.factory(assignment, spare.name))
+        deployment.release_slots()
+        deployment.released = True
+        if tenancy.empty:
+            del self._tenancies[region.slot]
+        return region.slot
 
     def __repr__(self) -> str:
         report = self.capacity_report()

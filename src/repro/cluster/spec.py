@@ -19,6 +19,7 @@ import dataclasses
 from repro.cluster.deployment import RequestAdapter
 from repro.cluster.load_balancer import BALANCING_POLICIES
 from repro.cluster.scheduler import PLACEMENT_POLICIES
+from repro.cluster.tenancy import PRIORITIES
 from repro.services.mapping_manager import ServiceDefinition
 from repro.sim.units import SEC
 
@@ -55,6 +56,20 @@ class ServiceSpec:
         Cadence of the per-service health watchdog: how often the
         manager sweeps the replicas' ring nodes through the pod Health
         Monitors and reconciles afterwards.
+
+    ``regions``
+        Fraction of a ring each replica needs, or ``None`` (default)
+        for the paper's whole-ring shape.  A fractional declaration
+        makes each replica a *tenant*: the scheduler bin-packs it onto
+        a shared ring's free region beside other small services.  Only
+        single-ring replicas can be region tenants.
+
+    ``priority``
+        Dispatch class of a region tenant: ``latency`` tenants hold a
+        2x weighted share of the shared injection slots and may evict a
+        ``batch`` tenant's region when no free region remains (the
+        evicted tenant is re-placed elsewhere).  Whole-ring services
+        ignore this (they never share resources).
     """
 
     service: ServiceDefinition
@@ -66,6 +81,8 @@ class ServiceSpec:
     slots_per_server: int = 48
     request_timeout_ns: float = 5 * SEC
     health_period_ns: float = 10 * SEC
+    regions: float | None = None
+    priority: str = "batch"
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -74,6 +91,21 @@ class ServiceSpec:
             raise ValueError(
                 f"need at least one ring per replica, got {self.rings_per_replica}"
             )
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; choose from {PRIORITIES}"
+            )
+        if self.regions is not None:
+            if not 0.0 < self.regions <= 1.0:
+                raise ValueError(
+                    f"regions must be a ring fraction in (0, 1], got {self.regions}"
+                )
+            if self.rings_per_replica != 1:
+                raise ValueError(
+                    "region tenants are single-ring replicas; "
+                    f"rings_per_replica={self.rings_per_replica} cannot "
+                    "also declare regions"
+                )
         if self.placement not in PLACEMENT_POLICIES:
             raise ValueError(
                 f"unknown placement policy {self.placement!r}; "

@@ -30,6 +30,19 @@ class ResourceBudget:
             dsp_blocks=self.dsp_blocks + other.dsp_blocks,
         )
 
+    def __sub__(self, other: "ResourceBudget") -> "ResourceBudget":
+        """Headroom left after ``other`` — components may go negative;
+        callers check :meth:`non_negative` (the region packer does)."""
+        return ResourceBudget(
+            alms=self.alms - other.alms,
+            m20k_blocks=self.m20k_blocks - other.m20k_blocks,
+            dsp_blocks=self.dsp_blocks - other.dsp_blocks,
+        )
+
+    @property
+    def non_negative(self) -> bool:
+        return self.alms >= 0 and self.m20k_blocks >= 0 and self.dsp_blocks >= 0
+
     def scaled(self, factor: float) -> "ResourceBudget":
         return ResourceBudget(
             alms=round(self.alms * factor),
@@ -44,12 +57,28 @@ class ResourceBudget:
             and self.dsp_blocks <= device.dsp_blocks
         )
 
+    def fits_within(self, other: "ResourceBudget") -> bool:
+        """Component-wise ``self <= other`` (budget vs budget)."""
+        return (other - self).non_negative
+
     def utilization(self, device: FpgaDevice) -> dict[str, float]:
-        """Fractional utilization per resource class."""
+        """Fractional utilization per resource class.
+
+        Devices can legitimately have zero of a resource class (DSP-less
+        parts exist); demanding nothing of an absent resource is 0.0
+        utilization, demanding anything of it is ``inf`` — never a
+        ``ZeroDivisionError``.
+        """
+
+        def fraction(used: int, capacity: int) -> float:
+            if capacity:
+                return used / capacity
+            return 0.0 if not used else float("inf")
+
         return {
-            "logic": self.alms / device.alms,
-            "ram": self.m20k_blocks / device.m20k_blocks,
-            "dsp": self.dsp_blocks / device.dsp_blocks,
+            "logic": fraction(self.alms, device.alms),
+            "ram": fraction(self.m20k_blocks, device.m20k_blocks),
+            "dsp": fraction(self.dsp_blocks, device.dsp_blocks),
         }
 
 

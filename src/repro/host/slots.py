@@ -110,3 +110,66 @@ class SlotClient:
     def leases(self, count: int) -> list[SlotLease]:
         """Allocate ``count`` slots (one per injecting thread)."""
         return [self.lease() for _ in range(count)]
+
+    def lease_for(self, slot_id: int) -> SlotLease:
+        """Lease a *specific* slot id (allocator-partitioned tenancy).
+
+        Unlike :meth:`lease`, ownership is not tracked here: the caller
+        (a :class:`SlotAllocator`) already guarantees exclusivity.
+        """
+        if not 0 <= slot_id < self.server.buffers.slot_count:
+            raise SlotExhausted(
+                f"slot {slot_id} out of range "
+                f"(server has {self.server.buffers.slot_count})"
+            )
+        return SlotLease(self, slot_id)
+
+
+class SlotAllocator:
+    """Partitions one server's slot pool among co-resident tenants.
+
+    A whole-ring deployment owns every slot of its injection servers by
+    construction, so each builds a private :class:`SlotClient` starting
+    at slot 0.  Region tenants *share* a ring's servers; without a
+    common free-list two tenants would lease the same slot id and
+    silently swallow each other's responses.  The allocator is the
+    shared free-list — cached on the server so every tenant of that
+    server sees the same one.
+    """
+
+    def __init__(self, server: Server):
+        self.server = server
+        self._free = list(range(server.buffers.slot_count))
+        self.owners: dict[int, str] = {}
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def acquire(self, count: int, owner: str = "") -> list[int]:
+        """Take up to ``count`` slot ids; raises when none are left."""
+        if not self._free:
+            raise SlotExhausted(
+                f"{self.server.machine_id}: all "
+                f"{self.server.buffers.slot_count} slots are owned"
+            )
+        taken = self._free[:count]
+        del self._free[:count]
+        for slot_id in taken:
+            self.owners[slot_id] = owner
+        return taken
+
+    def release(self, slot_ids: typing.Iterable[int]) -> None:
+        for slot_id in slot_ids:
+            if self.owners.pop(slot_id, None) is not None:
+                self._free.append(slot_id)
+        self._free.sort()
+
+
+def shared_slot_allocator(server: Server) -> SlotAllocator:
+    """The server's (lazily created) shared allocator."""
+    allocator = getattr(server, "slot_allocator", None)
+    if allocator is None:
+        allocator = SlotAllocator(server)
+        server.slot_allocator = allocator
+    return allocator

@@ -49,6 +49,8 @@ class QueueManager:
         self.reload_count = 0
         self.dispatched = 0
         self.enqueued = 0
+        self.reloads_by_model: dict[int, int] = {}
+        self.dispatched_by_model: dict[int, int] = {}
         self._arrival: Event | None = None
         self._batch_started_ns = 0.0
         self.process = engine.process(self._run(), name="queue-manager")
@@ -83,10 +85,42 @@ class QueueManager:
             model_id, packet = item
             if model_id != self.current_model:
                 self.reload_count += 1
+                self.reloads_by_model[model_id] = (
+                    self.reloads_by_model.get(model_id, 0) + 1
+                )
                 yield from self.reload_model(model_id)
                 self.current_model = model_id
             yield from self.dispatch(packet)
             self.dispatched += 1
+            self.dispatched_by_model[model_id] = (
+                self.dispatched_by_model.get(model_id, 0) + 1
+            )
+
+    def stats(self) -> dict:
+        """Counter snapshot: totals plus the per-model breakdown.
+
+        ``per_model`` maps model id to its reload and dispatch counts —
+        the ratio between the two is the effective batch size the QM
+        achieved for that model, the quantity §4.3's batching exists to
+        maximise.
+        """
+        per_model = {
+            model_id: {
+                "reloads": self.reloads_by_model.get(model_id, 0),
+                "dispatched": self.dispatched_by_model.get(model_id, 0),
+            }
+            for model_id in sorted(
+                set(self.reloads_by_model) | set(self.dispatched_by_model)
+            )
+        }
+        return {
+            "policy": self.policy,
+            "enqueued": self.enqueued,
+            "dispatched": self.dispatched,
+            "reloads": self.reload_count,
+            "backlog": self.backlog,
+            "per_model": per_model,
+        }
 
     def _next_item(self):
         if self.policy == "fifo":

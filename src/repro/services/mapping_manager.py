@@ -17,6 +17,7 @@ from repro.fabric.pod import Pod
 from repro.fabric.server import Server, ServerState
 from repro.fabric.torus import NodeId
 from repro.hardware.bitstream import Bitstream
+from repro.hardware.constants import MODEL_RELOAD_WORST_NS
 from repro.hardware.fpga import FpgaState
 from repro.host.driver import FpgaDriver
 from repro.shell.role import Role
@@ -154,6 +155,9 @@ class MappingManager:
         self.relocations = 0
         self.in_place_reconfigs = 0
         self.ring_exhaustions = 0
+        # Optional BitstreamCache (set by the scheduler): nodes whose
+        # needed image is still staged board-side skip the flash write.
+        self.bitstream_cache = None
 
     def driver_for(self, server: Server) -> FpgaDriver:
         if server.machine_id not in self._drivers:
@@ -162,15 +166,29 @@ class MappingManager:
 
     # -- deployment (§3.3) -------------------------------------------------------
 
-    def deploy(self, service: ServiceDefinition, ring_x: int) -> Event:
+    def deploy(
+        self,
+        service: ServiceDefinition,
+        ring_x: int,
+        nodes: typing.Sequence[NodeId] | None = None,
+    ) -> Event:
         """Deploy ``service`` onto ring ``ring_x``; yields the assignment.
 
         Every *other* pod FPGA that is still unconfigured receives the
         spare image: "when a service is deployed, each server is
         designated to run a specific application on its local FPGA"
         (§3.1), and the torus cannot route through unconfigured parts.
+
+        ``nodes`` restricts the assignment to a *region* — a subset of
+        the ring's nodes granted by the tenancy layer — so several
+        services can co-reside on one physical ring.  Nodes of the ring
+        outside the region are untouched (they belong to other tenants
+        or to the free pool).
         """
-        ring_nodes = [server.node_id for server in self.pod.ring(ring_x)]
+        if nodes is not None:
+            ring_nodes = list(nodes)
+        else:
+            ring_nodes = [server.node_id for server in self.pod.ring(ring_x)]
         assignment = RingAssignment(service, self.pod, ring_nodes)
         # Consult the failed-machine knowledge before configuring: nodes
         # whose hardware is flagged for manual service (dead server or
@@ -185,14 +203,16 @@ class MappingManager:
                         f"failed hardware for service {service.name!r}"
                     )
         done = self.engine.event(name=f"deploy:{service.name}")
-        nodes = [node for node in ring_nodes if node not in assignment.excluded]
+        configure = [
+            node for node in ring_nodes if node not in assignment.excluded
+        ]
         for node, server in self.pod.servers.items():
             if node in ring_nodes or server.fpga.configured_role is not None:
                 continue
             if server.state is ServerState.DEAD or server.fpga.state is FpgaState.FAILED:
                 continue  # flagged for manual service; cannot take an image
-            nodes.append(node)
-        self.engine.process(self._configure_body(assignment, nodes, done))
+            configure.append(node)
+        self.engine.process(self._configure_body(assignment, configure, done))
         self.deployments += 1
         return done
 
@@ -201,11 +221,34 @@ class MappingManager:
     ) -> typing.Generator:
         """Reconfigure ``nodes`` with their assigned images, then release
         RX-Halt everywhere — only once ALL pipeline FPGAs are configured
-        (§3.4)."""
+        (§3.4).
+
+        With a :class:`~repro.cluster.bitstream_cache.BitstreamCache`
+        attached, a node whose needed image is still staged board-side
+        — and whose shell is live — takes the partial-reconfiguration
+        fast path at model-reload cost instead of a full flash write.
+        """
+        cache = self.bitstream_cache
         reconfigs = []
         for node in nodes:
             server = self.pod.server_at(node)
             spec = assignment.spec_for_node(node)
+            fpga = server.fpga
+            staged = cache is not None and cache.lookup(
+                server.machine_id, spec.bitstream
+            )
+            if (
+                staged
+                and fpga.state is FpgaState.CONFIGURED
+                and not fpga.role_reloading
+                and spec.bitstream.shell_version.compatible_with(fpga.shell_version)
+            ):
+                reconfigs.append(
+                    server.shell.partial_reconfigure(
+                        spec.bitstream, reload_ns=MODEL_RELOAD_WORST_NS
+                    )
+                )
+                continue
             driver = self.driver_for(server)
             reconfigs.append(driver.reconfigure(spec.bitstream))
         try:
@@ -213,6 +256,13 @@ class MappingManager:
         except Exception as exc:
             done.fail(exc)
             return
+        if cache is not None:
+            # Whatever just landed is, by definition, staged board-side.
+            for node in nodes:
+                cache.install(
+                    self.pod.server_at(node).machine_id,
+                    assignment.spec_for_node(node).bitstream,
+                )
         for node in nodes:
             server = self.pod.server_at(node)
             spec = assignment.spec_for_node(node)

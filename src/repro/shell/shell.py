@@ -181,16 +181,19 @@ class Shell:
             self.role.reset()
         done.succeed(bitstream)
 
-    def partial_reconfigure(self, bitstream: Bitstream) -> Event:
+    def partial_reconfigure(
+        self, bitstream: Bitstream, reload_ns: float | None = None
+    ) -> Event:
         """Swap the role region while the shell keeps running (§3.2).
 
         The paper's future-work mode: no PCIe drop (no NMI, no driver
         masking), no TX/RX-Halt — the router keeps forwarding
         inter-FPGA traffic throughout.  Only this node's *role* is
-        offline during the (much shorter) reload.
+        offline during the (much shorter) reload.  ``reload_ns``
+        shortens the region write further for bitstream-cache hits.
         """
         done = self.engine.event(name=f"partial-reconfig:{self.machine_id}")
-        started = self.fpga.partial_reconfigure(bitstream)
+        started = self.fpga.partial_reconfigure(bitstream, reload_ns=reload_ns)
 
         def body() -> typing.Generator:
             try:

@@ -122,6 +122,29 @@ def test_max_batch_caps_run_length():
     assert "b0" in order[:4]  # model 1 served before model 0 finishes
 
 
+def test_stats_reports_per_model_reloads_and_dispatches():
+    eng = Engine()
+    rec = Recorder(eng)
+    qm = make_qm(eng, rec, policy="batch")
+    for i in range(3):
+        qm.enqueue(0, f"a{i}")
+    qm.enqueue(1, "b0")
+    eng.run()
+    stats = qm.stats()
+    assert stats["policy"] == "batch"
+    assert stats["enqueued"] == 4
+    assert stats["dispatched"] == 4
+    assert stats["reloads"] == 2
+    assert stats["backlog"] == 0
+    assert stats["per_model"] == {
+        0: {"reloads": 1, "dispatched": 3},
+        1: {"reloads": 1, "dispatched": 1},
+    }
+    # Per-model counts tie out with the totals.
+    assert sum(m["reloads"] for m in stats["per_model"].values()) == 2
+    assert sum(m["dispatched"] for m in stats["per_model"].values()) == 4
+
+
 def test_backlog_counts_both_policies():
     eng = Engine()
     rec = Recorder(eng)
