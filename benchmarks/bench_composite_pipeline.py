@@ -117,7 +117,7 @@ def run_one(config: str) -> dict:
     arrival_end = arrivals / RATE_PER_S * SEC
     rates = [
         ((t0 + t1) / 2, (c1 - c0) * SEC / (t1 - t0))
-        for (t0, c0), (t1, c1) in zip(samples, samples[1:])
+        for (t0, c0), (t1, c1) in zip(samples, samples[1:], strict=False)
         if t1 > t0
     ]
     steady_end = failed_at if failed_at is not None else arrival_end

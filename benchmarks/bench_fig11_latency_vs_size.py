@@ -54,5 +54,5 @@ def test_fig11_latency_vs_document_size(benchmark, record):
     # ~30x min; our fixed floor — DMA both ways plus the constant FFE /
     # scoring stage latencies — compresses the ratio; see EXPERIMENTS.md.)
     ordered = [latencies[s] for s in SIZES]
-    assert all(b >= a * 0.95 for a, b in zip(ordered, ordered[1:]))
+    assert all(b >= a * 0.95 for a, b in zip(ordered, ordered[1:], strict=False))
     assert latencies[65_536] > 3.5 * latencies[512]

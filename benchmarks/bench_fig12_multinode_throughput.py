@@ -49,5 +49,5 @@ def test_fig12_aggregate_throughput_vs_nodes(benchmark, record):
     assert throughputs[8] > 5.0 * base
     assert all(
         throughputs[b] >= throughputs[a] * 0.98
-        for a, b in zip(NODE_COUNTS, NODE_COUNTS[1:])
+        for a, b in zip(NODE_COUNTS, NODE_COUNTS[1:], strict=False)
     )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import itertools
 
-from repro.analysis import LatencyStats
+from repro.analysis import LatencyStats, ReservoirSample
 from repro.fabric import Pod, TorusTopology
 from repro.host.slots import SlotClient
 from repro.ranking.models import ModelLibrary
@@ -68,14 +68,14 @@ def open_loop_fpga(
     rate_per_server_s: float,
     samples: int,
     seed_tag: str = "",
-) -> list:
+) -> ReservoirSample:
     """Poisson arrivals on each server; returns all recorded latencies.
 
     Each arrival waits for a free slot lease (64 per server), performs
     the software portion (SSD + hit-vector prep), injects, and sleeps
     until the score returns — the production flow of §4.
     """
-    latencies: list = []
+    latencies = ReservoirSample()
     interarrival_ns = 1e9 / rate_per_server_s
     per_server = max(1, samples // len(servers))
     procs = []
@@ -123,13 +123,13 @@ def open_loop_software(
     rate_per_s: float,
     samples: int,
     seed_tag: str = "",
-) -> list:
+) -> ReservoirSample:
     """Poisson arrivals scored entirely in software on one server."""
     ranker = SoftwareRanker(server, scoring_engine)
     interarrival_ns = 1e9 / rate_per_s
     rng = eng.rng.stream(f"swloop:{seed_tag}:{server.machine_id}")
     pool_cycle = itertools.cycle(pool)
-    latencies: list = []
+    latencies = ReservoirSample()
 
     def handle(arrived_ns, request):
         yield from ranker.score_request(request)

@@ -105,7 +105,7 @@ def run_one(rate_per_s: float) -> dict:
     arrival_end = arrivals / rate_per_s * SEC
     rates = [
         ((t0 + t1) / 2, (c1 - c0) * SEC / (t1 - t0))
-        for (t0, c0), (t1, c1) in zip(samples, samples[1:])
+        for (t0, c0), (t1, c1) in zip(samples, samples[1:], strict=False)
         if t1 > t0
     ]
     steady = [r for t, r in rates if 2 * SAMPLE_NS <= t <= failed_at]

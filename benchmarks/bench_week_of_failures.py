@@ -95,6 +95,8 @@ def run_week() -> dict:
     done = traffic.run(arrivals)
 
     initial_capacity = capacity_fraction(manager)
+    # simlint: allow-unbounded-accum -- bounded time-series: one row per
+    # SAMPLE_NS tick over a fixed one-week horizon, not per-observation.
     samples = []  # (t_ns, capacity_fraction, open_tickets, admitted, completed)
     failures_injected = 0
     next_fail_day = 0

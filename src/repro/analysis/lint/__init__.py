@@ -1,0 +1,25 @@
+"""simlint: determinism static analysis for the simulation stack.
+
+Run as ``python -m repro.analysis.lint src tests benchmarks``.
+
+The pass enforces the two contracts the evaluation's
+apples-to-apples claim rests on — randomness only through named
+:class:`~repro.sim.rng.RngStreams` streams, time only through
+``engine.now`` — plus ordering/resource hygiene (no hash-order
+iteration feeding decisions, no ``id()`` ordering, no unbounded sample
+lists, no events yielded into the void).  Escapes are justified in
+place with ``# simlint: allow-<rule> -- <reason>``.
+"""
+
+from repro.analysis.lint.allowlist import Allowlist
+from repro.analysis.lint.framework import FileContext, Finding, Linter, Rule
+from repro.analysis.lint.registry import default_rules
+
+__all__ = [
+    "Allowlist",
+    "FileContext",
+    "Finding",
+    "Linter",
+    "Rule",
+    "default_rules",
+]

@@ -1,0 +1,126 @@
+"""Allowlist comments: justified exemptions from simlint rules.
+
+Syntax, on the flagged line or in a comment block directly above it
+(a directive that opens a comment block covers the whole block plus
+the first code line after it, so justifications can wrap)::
+
+    # simlint: allow-<rule> -- <reason>
+    # simlint: allow-rng, allow-wall-clock -- harness-local measurement
+
+The reason is mandatory.  An allow without one — or naming a rule that
+does not exist — is itself reported (``SIM000 bad-allow``), so a typo
+cannot silently suppress nothing while appearing to justify something.
+
+Comments are found with :mod:`tokenize`, not a regex over raw lines,
+so ``# simlint:`` inside a string literal is never misread as a
+directive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+
+BAD_ALLOW_RULE = "bad-allow"
+
+_DIRECTIVE = re.compile(r"#\s*simlint:\s*(?P<body>.*)$")
+_ALLOW = re.compile(r"allow-(?P<rule>[a-z0-9-]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class AllowProblem:
+    """A malformed or unknown suppression directive."""
+
+    line: int
+    message: str
+
+
+@dataclasses.dataclass(frozen=True)
+class _Directive:
+    line: int
+    rules: tuple
+    reason: str
+    raw: str
+
+
+class Allowlist:
+    """Per-file map of line -> allowed rule names."""
+
+    def __init__(
+        self, directives: list[_Directive], comment_lines: frozenset = frozenset()
+    ):
+        self._directives = directives
+        self._by_line: dict[int, set] = {}
+        for directive in directives:
+            if not directive.reason:
+                continue  # reported via problems(); grants nothing
+            # A directive covers its own line; when it opens a comment
+            # block, coverage extends through the block to the first
+            # code line after it, so multi-line justifications work.
+            line = directive.line
+            self._by_line.setdefault(line, set()).update(directive.rules)
+            while line + 1 in comment_lines:
+                line += 1
+                self._by_line.setdefault(line, set()).update(directive.rules)
+            self._by_line.setdefault(line + 1, set()).update(directive.rules)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Allowlist":
+        directives: list[_Directive] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (token.start[0], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenizeError, SyntaxError, IndentationError):
+            comments = []
+        for line, comment in comments:
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                continue
+            body = match.group("body").strip()
+            if "--" in body:
+                allows_part, _, reason = body.partition("--")
+                reason = reason.strip()
+            else:
+                allows_part, reason = body, ""
+            rules = tuple(m.group("rule") for m in _ALLOW.finditer(allows_part))
+            directives.append(
+                _Directive(line=line, rules=rules, reason=reason, raw=body)
+            )
+        return cls(directives, frozenset(line for line, _ in comments))
+
+    def allows(self, rule: str, line: int) -> bool:
+        return rule in self._by_line.get(line, ())
+
+    def problems(self, known_rules: set) -> list[AllowProblem]:
+        problems = []
+        for directive in self._directives:
+            if not directive.rules:
+                problems.append(
+                    AllowProblem(
+                        directive.line,
+                        f"directive has no allow-<rule> clause: {directive.raw!r}",
+                    )
+                )
+                continue
+            if not directive.reason:
+                problems.append(
+                    AllowProblem(
+                        directive.line,
+                        "allow without a reason; append '-- <why this is safe>'",
+                    )
+                )
+            for rule in directive.rules:
+                if rule not in known_rules:
+                    problems.append(
+                        AllowProblem(
+                            directive.line,
+                            f"allow names unknown rule {rule!r}",
+                        )
+                    )
+        return problems

@@ -1,0 +1,122 @@
+"""The simlint command line.
+
+Usage::
+
+    python -m repro.analysis.lint src tests benchmarks
+    python -m repro.analysis.lint --list-rules
+    python -m repro.analysis.lint --format json src
+
+Exit status 0 when every file is clean (or every finding is
+allowlisted with a reason), 1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis.lint.framework import Finding, Linter
+from repro.analysis.lint.registry import default_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
+
+
+def iter_python_files(paths: "list[str]") -> "list[pathlib.Path]":
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    files.append(sub)
+        else:
+            raise FileNotFoundError(raw)
+    return files
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="simlint: determinism static analysis for the simulation stack",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _parser().parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code} {rule.name:16s} {rule.description}")
+        return 0
+    if not args.paths:
+        print("error: no paths given (try: src tests benchmarks)", file=sys.stderr)
+        return 2
+    known = {rule.name for rule in rules}
+    for option in ("select", "ignore"):
+        chosen = getattr(args, option)
+        if chosen:
+            bad = set(chosen.split(",")) - known
+            if bad:
+                print(f"error: unknown rule(s) {sorted(bad)}", file=sys.stderr)
+                return 2
+    if args.select:
+        selected = set(args.select.split(","))
+        rules = [rule for rule in rules if rule.name in selected]
+    if args.ignore:
+        ignored = set(args.ignore.split(","))
+        rules = [rule for rule in rules if rule.name not in ignored]
+
+    try:
+        files = iter_python_files(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc.args[0]}", file=sys.stderr)
+        return 2
+    linter = Linter(rules)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(linter.lint_file(path))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [finding.__dict__ for finding in findings],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = (
+            f"simlint: {len(findings)} finding(s) in {len(files)} file(s)"
+            if findings
+            else f"simlint: {len(files)} file(s) clean"
+        )
+        print(summary)
+    return 1 if findings else 0

@@ -1,0 +1,166 @@
+"""The simlint rule framework.
+
+A :class:`Rule` inspects AST nodes and reports :class:`Finding`s.  The
+:class:`Linter` parses each file once, walks the tree once, and
+dispatches every node to the rules that registered interest in its
+type — so adding a rule never adds a file pass.
+
+Findings are suppressed by an explicit allowlist comment on the
+offending line (see :mod:`repro.analysis.lint.allowlist`); a
+suppression must carry a reason, because the point of the pass is that
+every escape from the determinism contract is *justified*, not merely
+silenced.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import typing
+
+from repro.analysis.lint.allowlist import Allowlist, BAD_ALLOW_RULE
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Iterable, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str  # short rule name, e.g. "bare-rng"
+    code: str  # stable id, e.g. "SIM001"
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.rule}: {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`name` (the allowlist key), :attr:`code`, and
+    :attr:`node_types`, and implement :meth:`check` returning zero or
+    more ``(node, message)`` pairs.
+    """
+
+    name: str = ""
+    code: str = ""
+    description: str = ""
+    # AST node classes this rule wants to see.
+    node_types: tuple = ()
+
+    def check(
+        self, node: ast.AST, ctx: "FileContext"
+    ) -> "Iterable[tuple[ast.AST, str]]":
+        raise NotImplementedError
+
+    def applies_to(self, ctx: "FileContext") -> bool:
+        """Whether the rule runs on this file at all (default: yes)."""
+        return True
+
+
+@dataclasses.dataclass
+class FileContext:
+    """Per-file state shared by every rule during one walk."""
+
+    path: str  # as given on the command line
+    posix_path: str  # normalized with forward slashes, for exemption matching
+    tree: ast.Module
+    allowlist: Allowlist
+    # Parent links let rules look outward (e.g. "is this call the
+    # iterable of a for loop?").  Built once per file.
+    parents: dict[ast.AST, ast.AST] = dataclasses.field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+
+def _link_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+class Linter:
+    """Runs a set of rules over files and collects findings."""
+
+    def __init__(self, rules: "Sequence[Rule]"):
+        self.rules = list(rules)
+        by_type: dict[type, list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                by_type.setdefault(node_type, []).append(rule)
+        self._by_type = by_type
+
+    def lint_source(self, path: str, source: str) -> list[Finding]:
+        """Lint one file's text; returns findings (allowlist applied)."""
+        posix = pathlib.PurePath(path).as_posix()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="syntax-error",
+                    code="SIM999",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        allowlist = Allowlist.from_source(source)
+        ctx = FileContext(
+            path=path, posix_path=posix, tree=tree, allowlist=allowlist
+        )
+        ctx.parents = _link_parents(tree)
+        active = [rule for rule in self.rules if rule.applies_to(ctx)]
+        active_types = {
+            node_type: [r for r in rules if r in active]
+            for node_type, rules in self._by_type.items()
+        }
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            for rule in active_types.get(type(node), ()):
+                for flagged, message in rule.check(node, ctx):
+                    line = getattr(flagged, "lineno", 1)
+                    if allowlist.allows(rule.name, line):
+                        continue
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=line,
+                            col=getattr(flagged, "col_offset", 0),
+                            rule=rule.name,
+                            code=rule.code,
+                            message=message,
+                        )
+                    )
+        # Malformed/unknown suppressions are findings themselves: a
+        # silent bad allow would otherwise *look* like a justification.
+        known = {rule.name for rule in self.rules}
+        for problem in allowlist.problems(known):
+            findings.append(
+                Finding(
+                    path=path,
+                    line=problem.line,
+                    col=0,
+                    rule=BAD_ALLOW_RULE,
+                    code="SIM000",
+                    message=problem.message,
+                )
+            )
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+    def lint_file(self, path: pathlib.Path) -> list[Finding]:
+        return self.lint_source(str(path), path.read_text(encoding="utf-8"))

@@ -1,0 +1,35 @@
+"""The default simlint rule set.
+
+Kept apart from the CLI so tests (and future pre-commit hooks) can
+instantiate the exact production rule set without argument parsing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.framework import Rule
+from repro.analysis.lint.rules_entropy import (
+    BareRngRule,
+    OsEntropyRule,
+    RealSleepRule,
+    WallClockRule,
+)
+from repro.analysis.lint.rules_order import (
+    DeadYieldRule,
+    IdOrderingRule,
+    SetIterationRule,
+    UnboundedAccumRule,
+)
+
+
+def default_rules() -> "list[Rule]":
+    """One fresh instance of every production rule, in code order."""
+    return [
+        BareRngRule(),
+        WallClockRule(),
+        RealSleepRule(),
+        OsEntropyRule(),
+        SetIterationRule(),
+        IdOrderingRule(),
+        UnboundedAccumRule(),
+        DeadYieldRule(),
+    ]

@@ -1,0 +1,175 @@
+"""Rules against nondeterministic inputs: RNG, wall clock, OS entropy.
+
+The simulation's reproducibility contract is that *all* randomness
+flows from :class:`repro.sim.rng.RngStreams` (named, seed-stable
+streams) and *all* time flows from ``engine.now``.  These rules catch
+the two classic contract escapes — bare ``random.*`` and host-clock
+reads — plus OS entropy sources that no seed can ever pin down.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.analysis.lint.framework import FileContext, Rule
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Iterable
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """'a.b.c' for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class BareRngRule(Rule):
+    """SIM001: randomness that bypasses the named-stream discipline.
+
+    ``random.Random(seed)`` constructed ad hoc — or module-level
+    ``random.random()`` / ``random.choice()`` / … — is seed-stable only
+    by accident and couples every caller to one global sequence:
+    adding a draw anywhere perturbs every later draw.  Components must
+    pull a stream from ``RngStreams`` (``engine.rng.stream("name")``)
+    so their sequences are independent and named.
+    """
+
+    name = "rng"
+    code = "SIM001"
+    description = (
+        "bare random.Random / module-level random.* call; draw from a "
+        "named RngStreams stream instead"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    # The stream factory itself is the one sanctioned constructor site.
+    EXEMPT_SUFFIXES = ("sim/rng.py",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.posix_path.endswith(self.EXEMPT_SUFFIXES)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield (
+                    node,
+                    "import of bare random names; use "
+                    "engine.rng.stream('<component>') (repro.sim.rng.RngStreams)",
+                )
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if dotted == "random.Random" or (
+            dotted.startswith("random.") and dotted.count(".") == 1
+        ):
+            if dotted == "random.SystemRandom":
+                return  # SIM004's finding; do not double-report
+            yield (
+                node,
+                f"{dotted}() bypasses RngStreams; use "
+                "engine.rng.stream('<component>') or justify with "
+                "'# simlint: allow-rng -- <reason>'",
+            )
+
+
+class WallClockRule(Rule):
+    """SIM002: host wall-clock reads inside simulated logic.
+
+    Simulated components must read ``engine.now``; a host-clock value
+    leaking into model state makes two identical runs diverge.
+    """
+
+    name = "wall-clock"
+    code = "SIM002"
+    description = "host clock read (time.time / datetime.now / …); use engine.now"
+    node_types = (ast.Call,)
+
+    CLOCK_CALLS = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+            "date.today",
+        }
+    )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        dotted = _dotted(node.func)
+        if dotted in self.CLOCK_CALLS:
+            yield (
+                node,
+                f"{dotted}() reads the host clock; simulated time is "
+                "engine.now (harness-side measurement needs "
+                "'# simlint: allow-wall-clock -- <reason>')",
+            )
+
+
+class RealSleepRule(Rule):
+    """SIM003: blocking the host thread instead of yielding sim time."""
+
+    name = "real-sleep"
+    code = "SIM003"
+    description = "time.sleep blocks the host; yield engine.timeout(delay) instead"
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time" and any(
+                alias.name == "sleep" for alias in node.names
+            ):
+                yield (node, "importing time.sleep; yield engine.timeout(delay) instead")
+            return
+        if _dotted(node.func) == "time.sleep":
+            yield (
+                node,
+                "time.sleep() stalls the host thread; simulated delay is "
+                "'yield engine.timeout(delay)'",
+            )
+
+
+class OsEntropyRule(Rule):
+    """SIM004: OS entropy no seed can reproduce."""
+
+    name = "entropy"
+    code = "SIM004"
+    description = "os.urandom / uuid1 / uuid4 / secrets.* are unseedable"
+    node_types = (ast.Call, ast.ImportFrom)
+
+    ENTROPY_CALLS = frozenset(
+        {"os.urandom", "uuid.uuid1", "uuid.uuid4", "random.SystemRandom"}
+    )
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "secrets" and node.level == 0:
+                yield (node, "the secrets module is OS entropy; no seed reproduces it")
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if dotted in self.ENTROPY_CALLS or dotted.startswith("secrets."):
+            yield (
+                node,
+                f"{dotted}() draws OS entropy; derive ids/values from a "
+                "named RngStreams stream so runs replay bit-identically",
+            )

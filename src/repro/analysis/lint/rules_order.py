@@ -1,0 +1,201 @@
+"""Rules against ordering hazards and resource-shaped bugs.
+
+Same-seed reproducibility survives only while every iteration the
+model *acts on* has a defined order and every accumulated statistic
+has bounded memory.  These rules catch hash-order iteration,
+``id()``-derived ordering, unbounded sample lists, and events yielded
+into the void.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import typing
+
+from repro.analysis.lint.framework import FileContext, Rule
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Iterable
+
+# Calls whose first argument's iteration order becomes observable.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether ``node`` is statically known to produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        # set-algebra methods returning new sets
+        return node.func.attr in ("union", "intersection", "difference",
+                                  "symmetric_difference") and _is_set_expr(
+            node.func.value
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                                            ast.Sub, ast.BitXor)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class SetIterationRule(Rule):
+    """SIM005: iterating a set where the order becomes behavior.
+
+    Set iteration order depends on insertion history and (for strings)
+    the per-process hash seed.  A scheduling or placement loop driven
+    by it is a run-to-run race; ``sorted(...)`` makes the order part of
+    the model.
+    """
+
+    name = "set-iteration"
+    code = "SIM005"
+    description = "iteration over a set expression; wrap in sorted() for stable order"
+    node_types = (ast.For, ast.comprehension, ast.Call)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter):
+                yield (
+                    node.iter,
+                    "for-loop over a set: iteration order is hash/insertion "
+                    "dependent; iterate sorted(...) so order is part of the model",
+                )
+        elif isinstance(node, ast.comprehension):
+            if _is_set_expr(node.iter):
+                yield (
+                    node.iter,
+                    "comprehension over a set: order is hash/insertion "
+                    "dependent; use sorted(...)",
+                )
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                yield (
+                    node,
+                    f"{node.func.id}() over a set observes hash order; "
+                    "use sorted(...)",
+                )
+
+
+class IdOrderingRule(Rule):
+    """SIM006: ``id()`` leaking allocation addresses into model state.
+
+    ``id()`` values vary between runs and interpreters; any ordering,
+    keying, or hashing built on them is irreproducible by construction.
+    Key by a stable identifier (name, index, slot) instead.
+    """
+
+    name = "id-ordering"
+    code = "SIM006"
+    description = "id() is allocation-order dependent; key by stable identifiers"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+        ):
+            yield (
+                node,
+                "id() values differ between runs; order/key by a stable "
+                "identifier (name, slot, sequence number) instead",
+            )
+
+
+_ACCUM_NAME = re.compile(r"(latenc|sample|duration)|_ns$")
+
+
+class UnboundedAccumRule(Rule):
+    """SIM007: per-observation float lists that grow with run length.
+
+    A plain ``latencies = []`` accumulator is O(run length) memory and
+    its late percentiles depend on float summation order under any
+    refactor.  :class:`repro.analysis.ReservoirSample` holds exact
+    count/mean/max and seeded bounded-memory percentiles — drop-in for
+    append/len/iterate.
+    """
+
+    name = "unbounded-accum"
+    code = "SIM007"
+    description = "unbounded sample list; use analysis.ReservoirSample"
+    node_types = (ast.Assign, ast.AnnAssign)
+
+    # The reservoir implementation's own internal sample list.
+    EXEMPT_SUFFIXES = ("analysis/stats.py",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.posix_path.endswith(self.EXEMPT_SUFFIXES)
+
+    @staticmethod
+    def _is_bare_list(value: ast.AST | None) -> bool:
+        if isinstance(value, ast.List) and not value.elts:
+            return True
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "list"
+            and not value.args
+        ):
+            return True
+        return False
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        else:
+            targets = [node.target]
+            value = node.value
+        if not self._is_bare_list(value):
+            return
+        for target in targets:
+            name = None
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+            if name is not None and _ACCUM_NAME.search(name):
+                yield (
+                    target,
+                    f"{name!r} looks like an unbounded per-observation "
+                    "accumulator; use analysis.ReservoirSample (bounded "
+                    "memory, seeded percentiles)",
+                )
+
+
+class DeadYieldRule(Rule):
+    """SIM008: yielding a freshly made bare event nobody can trigger.
+
+    ``yield engine.event()`` constructs an event whose only reference
+    is the waiting process itself — no other party can ever call
+    ``succeed()`` on it, so the process sleeps forever (and a bare
+    ``run()`` silently strands it).
+    """
+
+    name = "dead-yield"
+    code = "SIM008"
+    description = "yield of an unreferenced fresh Event; it can never trigger"
+    node_types = (ast.Yield,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> "Iterable[tuple[ast.AST, str]]":
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        func = value.func
+        fresh_event = (
+            isinstance(func, ast.Attribute) and func.attr == "event"
+        ) or (isinstance(func, ast.Name) and func.id == "Event")
+        if fresh_event:
+            yield (
+                value,
+                "yielded event is referenced only by this process; nothing "
+                "can ever succeed() it, so the process is stranded — keep a "
+                "reference where a producer can trigger it",
+            )

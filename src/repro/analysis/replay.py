@@ -54,7 +54,7 @@ class TraceReplay:
         """Suspiciously long gaps between consecutive sightings —
         where a deadlocked or hung stage shows up."""
         slow = []
-        for before, after in zip(self.steps, self.steps[1:]):
+        for before, after in zip(self.steps, self.steps[1:], strict=False):
             gap = after.timestamp_ns - before.timestamp_ns
             if gap > threshold_ns:
                 slow.append((before, after, gap))

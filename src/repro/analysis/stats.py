@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import math
 import random
-import typing
 
 
-def percentile(samples: typing.Sequence[float], pct: float) -> float:
+def percentile(samples: collections.abc.Sequence[float], pct: float) -> float:
     """Linear-interpolated percentile; ``pct`` in [0, 100]."""
     if not samples:
         raise ValueError("no samples")
@@ -27,7 +27,7 @@ def percentile(samples: typing.Sequence[float], pct: float) -> float:
 
 
 def cdf_points(
-    samples: typing.Sequence[float], points: int = 100
+    samples: collections.abc.Sequence[float], points: int = 100
 ) -> list[tuple[float, float]]:
     """(value, cumulative fraction) pairs for plotting a CDF."""
     if not samples:
@@ -65,7 +65,7 @@ class LatencyStats:
         return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, p999=0.0, max=0.0)
 
     @classmethod
-    def from_samples(cls, samples: typing.Sequence[float]) -> "LatencyStats":
+    def from_samples(cls, samples: collections.abc.Sequence[float]) -> "LatencyStats":
         if not samples:
             raise ValueError("no samples")
         return cls(
@@ -120,6 +120,9 @@ class ReservoirSample:
         self._max = 0.0
         self._sample: list[float] = []
         self._seed = seed
+        # simlint: allow-rng -- the construction-time seed IS the API:
+        # the reservoir is engine-free and clear() must restore the
+        # exact replacement stream.
         self._rng = random.Random(seed)
 
     # -- accumulation --------------------------------------------------
@@ -137,7 +140,7 @@ class ReservoirSample:
             if slot < self.capacity:
                 sample[slot] = value
 
-    def extend(self, values: typing.Iterable[float]) -> None:
+    def extend(self, values: collections.abc.Iterable[float]) -> None:
         for value in values:
             self.append(value)
 
@@ -147,6 +150,7 @@ class ReservoirSample:
         self.total = 0.0
         self._max = 0.0
         self._sample.clear()
+        # simlint: allow-rng -- restores the constructor's stream exactly.
         self._rng = random.Random(self._seed)
 
     # -- list protocol --------------------------------------------------
@@ -157,7 +161,7 @@ class ReservoirSample:
     def __bool__(self) -> bool:
         return self.count > 0
 
-    def __iter__(self) -> typing.Iterator[float]:
+    def __iter__(self) -> collections.abc.Iterator[float]:
         return iter(self._sample)
 
     def __getitem__(self, index):

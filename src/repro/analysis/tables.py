@@ -6,12 +6,12 @@ and figures report; these helpers keep that output consistent.
 
 from __future__ import annotations
 
-import typing
+import collections.abc
 
 
 def format_table(
-    headers: typing.Sequence[str],
-    rows: typing.Sequence[typing.Sequence],
+    headers: collections.abc.Sequence[str],
+    rows: collections.abc.Sequence[collections.abc.Sequence],
     title: str = "",
 ) -> str:
     """Fixed-width table with a separator rule under the headers."""
@@ -20,17 +20,17 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths, strict=False)))
     lines.append("  ".join("-" * w for w in widths))
     for row in cells[1:]:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=False)))
     return "\n".join(lines)
 
 
 def format_series(
     x_label: str,
-    series: typing.Mapping[str, typing.Sequence],
-    x_values: typing.Sequence,
+    series: collections.abc.Mapping[str, collections.abc.Sequence],
+    x_values: collections.abc.Sequence,
     title: str = "",
 ) -> str:
     """A figure as columns: x plus one column per named series."""

@@ -23,7 +23,7 @@ all-or-nothing (:meth:`~repro.cluster.scheduler.ClusterScheduler
 
 from __future__ import annotations
 
-import typing
+import collections.abc
 
 from repro.analysis import ReservoirSample, ThroughputMeter
 from repro.cluster.deployment import Deployment
@@ -45,7 +45,7 @@ class CompositeDeployment:
     def __init__(
         self,
         engine: Engine,
-        members: typing.Sequence[Deployment],
+        members: collections.abc.Sequence[Deployment],
         datacenter: Datacenter | None = None,
         name: str | None = None,
     ):
@@ -63,7 +63,7 @@ class CompositeDeployment:
             * datacenter.pod_distance(a.pod.pod_id, b.pod.pod_id)
             if datacenter is not None
             else 0.0
-            for a, b in zip(self.members, self.members[1:])
+            for a, b in zip(self.members, self.members[1:], strict=False)
         ]
         self.service = self.members[0].service
         self.name = name or (
@@ -100,7 +100,7 @@ class CompositeDeployment:
         timeout_ns: float = 5 * SEC,
         arrived_ns: float | None = None,
         include_prep: bool = True,
-    ) -> typing.Generator:
+    ) -> collections.abc.Generator:
         """Dispatch one request through the whole chain (a generator).
 
         Stage ``i``'s response rides to member ring ``i+1``'s head node

@@ -18,9 +18,9 @@ unchanged.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import itertools
-import typing
 
 from repro.analysis import LatencyStats, ReservoirSample, ThroughputMeter
 from repro.fabric.pod import Pod
@@ -54,7 +54,7 @@ class RequestAdapter:
     def size_of(self, request: object) -> int:
         return getattr(request, "size_bytes", 64)
 
-    def prep(self, server: Server) -> typing.Generator:
+    def prep(self, server: Server) -> collections.abc.Generator:
         """Host-side software portion before injection (a generator)."""
         if False:  # pragma: no cover - makes the default a generator
             yield
@@ -104,7 +104,7 @@ class Deployment:
         self.outstanding = 0  # dispatched via submit(), not yet resolved
         self._lease_stores: dict[str, Store] = {}
         self._owned_slots: list[tuple[Server, list[int]]] = []
-        self._injection_cycle: typing.Iterator[Server] | None = None
+        self._injection_cycle: collections.abc.Iterator[Server] | None = None
 
     @property
     def name(self) -> str:
@@ -186,7 +186,7 @@ class Deployment:
                 # allocator so slot ids never collide across tenants.
                 allocator = shared_slot_allocator(server)
                 quota = min(self.region.slot_quota, server.buffers.slot_count)
-                slot_ids = allocator.acquire(quota, owner=self.name)
+                slot_ids = allocator.acquire(quota, owner=self.name, owner_obj=self)
                 self._owned_slots.append((server, slot_ids))
                 leases = [client.lease_for(slot_id) for slot_id in slot_ids]
             else:
@@ -220,7 +220,7 @@ class Deployment:
         timeout_ns: float = 5 * SEC,
         arrived_ns: float | None = None,
         include_prep: bool = True,
-    ) -> typing.Generator:
+    ) -> collections.abc.Generator:
         """Dispatch one request through this ring (a generator).
 
         Acquires a slot lease on an injection server (round-robin over
@@ -298,15 +298,19 @@ class Deployment:
         retired.
         """
 
-        def drain() -> typing.Generator:
+        def drain() -> collections.abc.Generator:
             yield server.buffers.consume_output(lease.slot_id)
             yield store.put(lease)
 
         # Not a daemon: a blocked process does not keep a bare run()
         # alive, and the lease hand-back must stay on the non-daemon
         # dispatch chain so waiting submitters actually resume.
+        # Expendable: if the response was truly lost in the fabric this
+        # process never finishes, by design — not an orphan.
         self.engine.process(
-            drain(), name=f"quarantine:{server.machine_id}:{lease.slot_id}"
+            drain(),
+            name=f"quarantine:{server.machine_id}:{lease.slot_id}",
+            expendable=True,
         )
 
     # -- closed-loop injection (§5 methodology) --------------------------------
@@ -332,7 +336,7 @@ class Deployment:
         pool_cycle = itertools.cycle(pool)
         done = self.engine.event(name=f"injector:{server.machine_id}")
 
-        def thread_body(lease) -> typing.Generator:
+        def thread_body(lease) -> collections.abc.Generator:
             for _ in range(requests_per_thread):
                 request = next(pool_cycle)
                 started = self.engine.now
@@ -352,7 +356,7 @@ class Deployment:
                 stats.completed += 1
                 self.meter.record()
 
-        def waiter(procs) -> typing.Generator:
+        def waiter(procs) -> collections.abc.Generator:
             yield AllOf(self.engine, procs)
             done.succeed(stats)
 

@@ -24,7 +24,7 @@ Policies:
 
 from __future__ import annotations
 
-import typing
+import collections.abc
 
 from repro.analysis import LatencyStats, ReservoirSample, ThroughputMeter
 from repro.cluster.deployment import Deployment
@@ -44,7 +44,7 @@ class LoadBalancer:
     def __init__(
         self,
         engine: Engine,
-        deployments: typing.Sequence[Deployment],
+        deployments: collections.abc.Sequence[Deployment],
         policy: str = "least_outstanding",
         name: str = "frontend",
     ):
@@ -101,7 +101,7 @@ class LoadBalancer:
 
     def submit(
         self, request: object, timeout_ns: float = 5 * SEC
-    ) -> typing.Generator:
+    ) -> collections.abc.Generator:
         """Dispatch one request via the picked ring (a generator).
 
         Returns the response payload, or ``None`` on a fabric timeout.

@@ -31,6 +31,7 @@ machinery for rolling in-place upgrades.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import typing
 
@@ -155,7 +156,7 @@ class ServiceHandle:
 
     def submit(
         self, request: object, timeout_ns: float | None = None
-    ) -> typing.Generator:
+    ) -> collections.abc.Generator:
         """Dispatch one request via the front end (a generator)."""
         if not self.active:
             raise RuntimeError(f"service {self.name!r} has been drained")
@@ -761,7 +762,7 @@ class ClusterManager:
         deadline = self.engine.now + bound_ns + poll_ns
         done = self.engine.event(name=f"drain:{replica.name}")
 
-        def body() -> typing.Generator:
+        def body() -> collections.abc.Generator:
             while replica.outstanding > 0 and self.engine.now < deadline:
                 yield self.engine.timeout(poll_ns)
             done.succeed()
@@ -787,7 +788,7 @@ class ClusterManager:
         if handle._watchdog is not None and handle._watchdog.is_alive:
             raise RuntimeError(f"watchdog for {handle.name!r} already running")
 
-        def body() -> typing.Generator:
+        def body() -> collections.abc.Generator:
             while handle.active:
                 # Read the period from the live spec each cycle so a
                 # re-applied declaration changes the cadence in place.
@@ -810,7 +811,7 @@ class ClusterManager:
         event (usable with ``engine.run_until``)."""
         done = self.engine.event(name=f"sweep:{handle.name}")
 
-        def body() -> typing.Generator:
+        def body() -> collections.abc.Generator:
             yield from self._sweep_body(handle)
             report = self.reconcile(handle)
             done.succeed(report)
@@ -818,7 +819,7 @@ class ClusterManager:
         self.engine.process(body(), name=f"cluster.sweep:{handle.name}")
         return done
 
-    def _sweep_body(self, handle: ServiceHandle) -> typing.Generator:
+    def _sweep_body(self, handle: ServiceHandle) -> collections.abc.Generator:
         by_pod: dict[int, list] = {}
         for replica in list(handle.balancer.deployments):
             for member in self._member_rings(replica):

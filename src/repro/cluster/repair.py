@@ -38,6 +38,7 @@ Repair-time distributions:
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import math
 import typing
@@ -123,7 +124,7 @@ class RepairQueue:
         self.scheduler = scheduler
         self.policy = policy or RepairPolicy()
         self.tickets: list[ServiceTicket] = []
-        self.on_repaired: list[typing.Callable[[ServiceTicket], None]] = []
+        self.on_repaired: list[collections.abc.Callable[[ServiceTicket], None]] = []
         self._open_by_slot: dict[RingSlot, ServiceTicket] = {}
         self._rng = engine.rng.stream(stream)
 
@@ -220,7 +221,7 @@ class RepairQueue:
 
     # -- the technician --------------------------------------------------------
 
-    def _repair_body(self, ticket: ServiceTicket) -> typing.Generator:
+    def _repair_body(self, ticket: ServiceTicket) -> collections.abc.Generator:
         yield self.engine.timeout(ticket.due_ns - self.engine.now)
         if not ticket.open:
             return  # cancelled (manual uncordon) while waiting

@@ -22,6 +22,7 @@ Placement policies:
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import typing
 
@@ -239,7 +240,7 @@ class ClusterScheduler:
             self.repair_queue.open_ticket(slot, reason=reason)
 
     def cordon_region(
-        self, slot: RingSlot, nodes: typing.Sequence, reason: str = ""
+        self, slot: RingSlot, nodes: collections.abc.Sequence, reason: str = ""
     ) -> None:
         """Hold one region's node run out of ``slot``'s free pool.
 
@@ -482,7 +483,7 @@ class ClusterScheduler:
                     continue
                 cost = sum(
                     self.datacenter.pod_distance(a.pod_id, b.pod_id)
-                    for a, b in zip(window, window[1:])
+                    for a, b in zip(window, window[1:], strict=False)
                 )
                 key = (pods_used, cost, start)
                 if best is None or key < best[:3]:
@@ -699,7 +700,7 @@ class ClusterScheduler:
             tenancy.release(claim)
             if tenancy.empty:
                 del self._tenancies[chosen]
-            raise PlacementFailed(chosen, exc, nodes=claim.nodes)
+            raise PlacementFailed(chosen, exc, nodes=claim.nodes) from exc
         tenancy.occupants[service.name] = deployment
         self.decisions.append(
             PlacementDecision(

@@ -28,9 +28,9 @@ largest-first.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import math
-import typing
 
 from repro.fabric.datacenter import RingSlot
 from repro.fabric.torus import NodeId
@@ -120,7 +120,7 @@ class RegionClaim:
 class RingTenancy:
     """Occupancy ledger of one shared ring: claims, cordons, free nodes."""
 
-    def __init__(self, slot: RingSlot, ring_nodes: typing.Sequence[NodeId]):
+    def __init__(self, slot: RingSlot, ring_nodes: collections.abc.Sequence[NodeId]):
         self.slot = slot
         self.ring_nodes = list(ring_nodes)
         self.claims: dict[str, RegionClaim] = {}  # service name -> claim
@@ -198,7 +198,7 @@ class RingTenancy:
 
     # -- per-region cordons ------------------------------------------------------
 
-    def cordon_region(self, nodes: typing.Sequence[NodeId], reason: str = "") -> None:
+    def cordon_region(self, nodes: collections.abc.Sequence[NodeId], reason: str = "") -> None:
         """Hold a node run out of the free pool (bad hardware inside)."""
         self.cordoned.setdefault(tuple(nodes), reason)
 
@@ -213,7 +213,7 @@ class RingTenancy:
 
 
 def pack_first_fit_decreasing(
-    requests: typing.Sequence[tuple[str, float]],
+    requests: collections.abc.Sequence[tuple[str, float]],
 ) -> list[list[str]]:
     """Plan region packing: FFD bin-packing of fractions onto rings.
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
-import typing
 
 from repro.cluster.failures import ClusterFailureInjector
 from repro.cluster.load_balancer import LoadBalancer
@@ -205,7 +205,7 @@ class CatapultFabric:
     # -- operations ---------------------------------------------------------------
 
     def check_health(
-        self, nodes: typing.Sequence[NodeId], pod_id: int = 0
+        self, nodes: collections.abc.Sequence[NodeId], pod_id: int = 0
     ) -> HealthReport:
         """Run a Health Monitor investigation and return its report."""
         done = self.health_monitor(pod_id).investigate(list(nodes))

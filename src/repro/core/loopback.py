@@ -14,9 +14,9 @@ responses routed through a loopback SAS cable."
 
 from __future__ import annotations
 
+import collections.abc
 import enum
 import itertools
-import typing
 
 from repro.fabric.server import Server
 from repro.hardware.bitstream import Bitstream
@@ -116,7 +116,7 @@ class LoopbackHarness:
         started = self.engine.now
         completed = [0]
 
-        def thread_body(lease) -> typing.Generator:
+        def thread_body(lease) -> collections.abc.Generator:
             for _ in range(requests_per_thread):
                 request = next(pool_cycle)
                 payload = RankingPayload(document=request.document)

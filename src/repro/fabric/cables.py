@@ -11,7 +11,6 @@ the expected topology (§3.5).
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.fabric.torus import NodeId, TorusTopology
 from repro.shell.router import Port
@@ -38,7 +37,7 @@ class CableAssembly:
             link.repair_cable()
 
 
-WireSpec = typing.Tuple[NodeId, Port, NodeId, Port]
+WireSpec = tuple[NodeId, Port, NodeId, Port]
 
 
 class WiringPlan:

@@ -218,7 +218,7 @@ class Datacenter:
             if assembly.failed and self._assembly_touches(pod, assembly, ring_nodes):
                 assembly.repair()
                 serviced += 1
-        for (src, _sp, dst, _dp), link in zip(pod.wiring.wires, pod.links):
+        for (src, _sp, dst, _dp), link in zip(pod.wiring.wires, pod.links, strict=True):
             if link.broken and (src in ring_nodes or dst in ring_nodes):
                 link.repair_cable()
                 serviced += 1
@@ -226,7 +226,7 @@ class Datacenter:
 
     @staticmethod
     def _assembly_touches(pod: Pod, assembly, ring_nodes: set) -> bool:
-        for (src, _sp, dst, _dp), link in zip(pod.wiring.wires, pod.links):
+        for (src, _sp, dst, _dp), link in zip(pod.wiring.wires, pod.links, strict=True):
             if link in assembly.links and (src in ring_nodes or dst in ring_nodes):
                 return True
         return False

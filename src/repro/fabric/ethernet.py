@@ -9,7 +9,7 @@ simply never answer, which the caller turns into a timeout.
 
 from __future__ import annotations
 
-import typing
+import collections.abc
 
 from repro.sim import Engine, Event
 from repro.sim.units import MS, US
@@ -25,11 +25,11 @@ class EthernetNetwork:
     def __init__(self, engine: Engine, one_way_latency_ns: float = 50 * US):
         self.engine = engine
         self.one_way_latency_ns = one_way_latency_ns
-        self._handlers: dict[str, typing.Callable[[object], object]] = {}
+        self._handlers: dict[str, collections.abc.Callable[[object], object]] = {}
         self.rpcs_sent = 0
         self.rpcs_timed_out = 0
 
-    def register(self, machine_id: str, handler: typing.Callable[[object], object]) -> None:
+    def register(self, machine_id: str, handler: collections.abc.Callable[[object], object]) -> None:
         """Install the RPC handler for ``machine_id``.
 
         The handler receives the message and returns a response, or

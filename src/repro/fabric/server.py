@@ -13,8 +13,8 @@ behaviour that motivates the driver protocol (§3.4).
 
 from __future__ import annotations
 
+import collections.abc
 import enum
-import typing
 
 from repro.hardware.fpga import Fpga, FpgaState
 from repro.shell.pcie import HostDmaBuffers
@@ -139,7 +139,7 @@ class Server:
 
     # -- CPU work ---------------------------------------------------------------
 
-    def run_on_core(self, duration_ns: float) -> typing.Generator:
+    def run_on_core(self, duration_ns: float) -> collections.abc.Generator:
         """Occupy one core for ``duration_ns`` (generator to yield from)."""
         grant = self.cpu.request()
         yield grant

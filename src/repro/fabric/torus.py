@@ -9,12 +9,11 @@ we compute shortest-path dimension-order routes (X then Y).
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.hardware.constants import TORUS_HEIGHT, TORUS_WIDTH
 from repro.shell.router import Port
 
-NodeId = typing.Tuple[int, int]
+NodeId = tuple[int, int]
 
 
 @dataclasses.dataclass(frozen=True)

@@ -13,9 +13,9 @@ Captures the behaviours the paper's resilience machinery exists for:
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import enum
-import typing
 
 from repro.hardware.bitstream import Bitstream, ShellVersion
 from repro.hardware.constants import (
@@ -77,11 +77,11 @@ class Fpga:
         self.reconfig_count = 0
         self.partial_reconfig_count = 0
         self.role_reloading = False  # partial reconfiguration in flight
-        self._observers: list[typing.Callable[[Fpga, FpgaState], None]] = []
+        self._observers: list[collections.abc.Callable[[Fpga, FpgaState], None]] = []
 
     # -- observers -------------------------------------------------------
 
-    def on_state_change(self, callback: typing.Callable[["Fpga", FpgaState], None]) -> None:
+    def on_state_change(self, callback: collections.abc.Callable[["Fpga", FpgaState], None]) -> None:
         """Register for state transitions (used by PCIe/link models)."""
         self._observers.append(callback)
 
@@ -114,7 +114,7 @@ class Fpga:
         self.engine.process(self._reconfigure_body(bitstream, done), name=f"rcfg.{self.name}")
         return done
 
-    def _reconfigure_body(self, bitstream: Bitstream, done: Event) -> typing.Generator:
+    def _reconfigure_body(self, bitstream: Bitstream, done: Event) -> collections.abc.Generator:
         self._set_state(FpgaState.RECONFIGURING)
         self.bitstream = None
         yield self.engine.timeout(self.reconfig_ns)

@@ -9,7 +9,7 @@ unmasked NMI destabilizes the host.
 
 from __future__ import annotations
 
-import typing
+import collections.abc
 
 from repro.fabric.server import Server
 from repro.hardware.bitstream import Bitstream
@@ -32,7 +32,7 @@ class FpgaDriver:
         server = self.server
         done = server.engine.event(name=f"driver-reconfig:{server.machine_id}")
 
-        def body() -> typing.Generator:
+        def body() -> collections.abc.Generator:
             server.nmi_masked = True
             try:
                 finished = server.shell.safe_reconfigure(bitstream)

@@ -12,8 +12,8 @@ thread) and records per-request latency for the evaluation harness.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
-import typing
 
 from repro.analysis import ReservoirSample
 from repro.fabric.server import Server
@@ -44,7 +44,7 @@ class SlotLease:
     def request(
         self, dst: tuple, size_bytes: int, payload: object = None,
         timeout_ns: float | None = None,
-    ) -> typing.Generator:
+    ) -> collections.abc.Generator:
         """Send one request and wait for its response (generator).
 
         Yields the response packet's payload, or raises
@@ -141,13 +141,23 @@ class SlotAllocator:
         self.server = server
         self._free = list(range(server.buffers.slot_count))
         self.owners: dict[int, str] = {}
+        # SimSanitizer lease tokens by slot id (sanitized engines only).
+        self._tokens: dict[int, object] = {}
 
     @property
     def free_count(self) -> int:
         return len(self._free)
 
-    def acquire(self, count: int, owner: str = "") -> list[int]:
-        """Take up to ``count`` slot ids; raises when none are left."""
+    def acquire(
+        self, count: int, owner: str = "", owner_obj: object = None
+    ) -> list[int]:
+        """Take up to ``count`` slot ids; raises when none are left.
+
+        ``owner_obj`` (e.g. the tenant :class:`Deployment`) is handed
+        to the engine's sanitizer, when one is active, so a lease whose
+        owner is released without returning its slots is reported as a
+        leak with this call site.
+        """
         if not self._free:
             raise SlotExhausted(
                 f"{self.server.machine_id}: all "
@@ -157,12 +167,23 @@ class SlotAllocator:
         del self._free[:count]
         for slot_id in taken:
             self.owners[slot_id] = owner
+        sanitizer = getattr(self.server.engine, "sanitizer", None)
+        if sanitizer is not None:
+            for slot_id in taken:
+                self._tokens[slot_id] = sanitizer.track_lease(
+                    kind="slot-lease",
+                    label=f"{self.server.machine_id}/slot{slot_id} ({owner})",
+                    owner=owner_obj,
+                )
         return taken
 
-    def release(self, slot_ids: typing.Iterable[int]) -> None:
+    def release(self, slot_ids: collections.abc.Iterable[int]) -> None:
         for slot_id in slot_ids:
             if self.owners.pop(slot_id, None) is not None:
                 self._free.append(slot_id)
+            token = self._tokens.pop(slot_id, None)
+            if token is not None:
+                token.close()
         self._free.sort()
 
 

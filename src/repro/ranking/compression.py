@@ -10,13 +10,13 @@ model-specific vector the scoring banks index directly.  Mostly RAM
 
 from __future__ import annotations
 
-import typing
+import collections.abc
 
 
 class CompressionMap:
     """Model-specific packing of sparse feature slots to dense indices."""
 
-    def __init__(self, used_slots: typing.Iterable[int]):
+    def __init__(self, used_slots: collections.abc.Iterable[int]):
         self.slots = sorted(set(used_slots))
         if not self.slots:
             raise ValueError("compression map needs at least one slot")
@@ -25,7 +25,7 @@ class CompressionMap:
     def __len__(self) -> int:
         return len(self.slots)
 
-    def pack(self, values: typing.Mapping[int, float]) -> list:
+    def pack(self, values: collections.abc.Mapping[int, float]) -> list:
         """Dense vector in slot order; absent features read 0.0."""
         return [values.get(slot, 0.0) for slot in self.slots]
 

@@ -17,9 +17,9 @@ parallel FSMs).  Timing is modelled separately in the role.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import math
-import typing
 
 from repro.hardware.constants import MAX_DYNAMIC_FEATURES
 from repro.ranking.documents import (
@@ -164,7 +164,7 @@ class FeatureMachine:
 
     name: str
     kind: str  # "per_term" | "per_stream" | "global"
-    compute: typing.Callable
+    compute: collections.abc.Callable
 
 
 def _tf(term: TermAggregate) -> float:

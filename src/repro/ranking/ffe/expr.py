@@ -9,15 +9,15 @@ reproduce exactly.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import math
-import typing
 
 
 class Expr:
     """Base class for expression nodes."""
 
-    def evaluate(self, features: typing.Mapping[int, float]) -> float:
+    def evaluate(self, features: collections.abc.Mapping[int, float]) -> float:
         raise NotImplementedError
 
     def operation_count(self) -> int:
@@ -92,7 +92,7 @@ class Metafeature(Expr):
 # Metafeatures live above the dynamic + software feature spaces.
 METAFEATURE_BASE = 1 << 16
 
-_BINOPS: dict[str, typing.Callable[[float, float], float]] = {
+_BINOPS: dict[str, collections.abc.Callable[[float, float], float]] = {
     "add": lambda a, b: a + b,
     "sub": lambda a, b: a - b,
     "mul": lambda a, b: a * b,
@@ -104,7 +104,7 @@ _BINOPS: dict[str, typing.Callable[[float, float], float]] = {
     "mod": lambda a, b: a - b * float(int(a / b)) if b != 0.0 else 0.0,
 }
 
-_UNOPS: dict[str, typing.Callable[[float], float]] = {
+_UNOPS: dict[str, collections.abc.Callable[[float], float]] = {
     "ln": lambda a: math.log(a) if a > 0.0 else 0.0,  # hardware-safe ln
     "exp": lambda a: math.exp(min(a, 700.0)),
     "neg": lambda a: -a,

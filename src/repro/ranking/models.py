@@ -15,9 +15,9 @@ footprints that drive Model Reload timing (up to 250 µs, §4.3).
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import random
-import typing
 
 from repro.ranking.compression import CompressionMap
 from repro.ranking.features import (
@@ -46,6 +46,7 @@ from repro.ranking.scoring import (
     NeuralScorer,
     TreeNode,
 )
+from repro.sim.rng import RngStreams
 
 # FFE results live above metafeatures in the slot space.
 FFE_RESULT_BASE = 1 << 17
@@ -179,7 +180,8 @@ def synthesize_model(
     tree ensemble whose three banks dominate scoring-FPGA RAM, matching
     the paper's qualitative description.
     """
-    rng = random.Random(seed if seed is not None else model_id * 7919 + 13)
+    root = seed if seed is not None else model_id * 7919 + 13
+    rng = RngStreams(root).stream(f"model:{model_id}")
     layout = layout or FeatureLayout()
     synth = _ExpressionSynthesizer(rng, layout)
     compiler = FfeCompiler()
@@ -265,7 +267,7 @@ def synthesize_model(
 class ModelLibrary:
     """The models a deployment serves, keyed by model id."""
 
-    def __init__(self, models: typing.Iterable[RankingModel]):
+    def __init__(self, models: collections.abc.Iterable[RankingModel]):
         self.models = {model.model_id: model for model in models}
         if not self.models:
             raise ValueError("model library cannot be empty")

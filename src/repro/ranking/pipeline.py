@@ -14,6 +14,7 @@ rides the ring.
 
 from __future__ import annotations
 
+import collections.abc
 import typing
 
 from repro.cluster.deployment import Deployment, InjectorStats, RequestAdapter
@@ -137,7 +138,7 @@ class RankingRequestAdapter(RequestAdapter):
     def size_of(self, request: "ScoringRequest") -> int:
         return request.size_bytes
 
-    def prep(self, server: Server) -> typing.Generator:
+    def prep(self, server: Server) -> collections.abc.Generator:
         """SSD metastream fetch, then hit-vector prep on a CPU core."""
         yield server.engine.timeout(SSD_LOOKUP_NS)
         yield from server.run_on_core(HOST_PREP_CPU_NS)

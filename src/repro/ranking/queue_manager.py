@@ -16,7 +16,7 @@ Two policies are provided for the ablation benchmark:
 
 from __future__ import annotations
 
-import typing
+import collections.abc
 from collections import deque
 
 from repro.sim import Engine, Event
@@ -29,8 +29,8 @@ class QueueManager:
     def __init__(
         self,
         engine: Engine,
-        dispatch: typing.Callable,  # generator: yield-from'able per packet
-        reload_model: typing.Callable,  # generator: model switch actions
+        dispatch: collections.abc.Callable,  # generator: yield-from'able per packet
+        reload_model: collections.abc.Callable,  # generator: model switch actions
         policy: str = "batch",
         switch_timeout_ns: float = 500 * US,
         max_batch: int = 512,
@@ -53,7 +53,10 @@ class QueueManager:
         self.dispatched_by_model: dict[int, int] = {}
         self._arrival: Event | None = None
         self._batch_started_ns = 0.0
-        self.process = engine.process(self._run(), name="queue-manager")
+        # Expendable: the dispatch loop sleeps until the next arrival.
+        self.process = engine.process(
+            self._run(), name="queue-manager", expendable=True
+        )
 
     # -- producer side ----------------------------------------------------------
 
@@ -75,7 +78,7 @@ class QueueManager:
 
     # -- dispatch loop -------------------------------------------------------------
 
-    def _run(self) -> typing.Generator:
+    def _run(self) -> collections.abc.Generator:
         while True:
             item = self._next_item()
             if item is None:

@@ -10,8 +10,8 @@ partial sums combine down the pipeline.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
-import typing
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,7 +39,7 @@ class DecisionTree:
 
     root: TreeNode
 
-    def evaluate(self, packed: typing.Sequence[float]) -> float:
+    def evaluate(self, packed: collections.abc.Sequence[float]) -> float:
         node = self.root
         while not node.is_leaf:
             value = packed[node.feature] if node.feature < len(packed) else 0.0
@@ -89,7 +89,7 @@ class NeuralScorer:
     def hidden_units(self) -> int:
         return len(self.weights)
 
-    def _unit(self, j: int, packed: typing.Sequence[float]) -> float:
+    def _unit(self, j: int, packed: collections.abc.Sequence[float]) -> float:
         import math
 
         w = self.weights[j]
@@ -98,7 +98,7 @@ class NeuralScorer:
         )
         return self.output_weights[j] * math.tanh(activation)
 
-    def evaluate_bank(self, index: int, packed: typing.Sequence[float]) -> float:
+    def evaluate_bank(self, index: int, packed: collections.abc.Sequence[float]) -> float:
         if not 0 <= index < self.BANKS:
             raise ValueError(f"bank index {index} out of range")
         partial = sum(
@@ -109,7 +109,7 @@ class NeuralScorer:
             partial += self.output_bias
         return partial
 
-    def evaluate(self, packed: typing.Sequence[float]) -> float:
+    def evaluate(self, packed: collections.abc.Sequence[float]) -> float:
         return sum(self.evaluate_bank(i, packed) for i in range(self.BANKS))
 
     def bank_node_count(self, index: int) -> int:
@@ -143,13 +143,13 @@ class BoostedTreeScorer:
             raise ValueError(f"bank index {index} out of range")
         return self.trees[index :: self.BANKS]
 
-    def evaluate_bank(self, index: int, packed: typing.Sequence[float]) -> float:
+    def evaluate_bank(self, index: int, packed: collections.abc.Sequence[float]) -> float:
         """Partial sum contributed by one scoring FPGA."""
         return self.learning_rate * sum(
             tree.evaluate(packed) for tree in self.bank(index)
         )
 
-    def evaluate(self, packed: typing.Sequence[float]) -> float:
+    def evaluate(self, packed: collections.abc.Sequence[float]) -> float:
         """The full score: what the three banks' partial sums add up to."""
         return self.learning_rate * sum(tree.evaluate(packed) for tree in self.trees)
 

@@ -18,8 +18,10 @@ the FPGA's performance remains stable").
 
 from __future__ import annotations
 
+import collections.abc
 import typing
 
+from repro.analysis import ReservoirSample
 from repro.fabric.server import Server
 from repro.ranking.engine import ScoringEngine
 from repro.ranking.models import RankingModel
@@ -51,7 +53,7 @@ class SoftwareRanker:
         self.engine = server.engine
         self.scoring_engine = scoring_engine
         self._rng = server.engine.rng.stream(f"swrank:{server.machine_id}")
-        self.latencies_ns: list = []
+        self.latencies_ns = ReservoirSample()
         self.scored = 0
 
     # -- timing model ---------------------------------------------------------
@@ -83,7 +85,7 @@ class SoftwareRanker:
 
     # -- scoring --------------------------------------------------------------
 
-    def score_request(self, request: ScoringRequest) -> typing.Generator:
+    def score_request(self, request: ScoringRequest) -> collections.abc.Generator:
         """Score one request on a CPU core; returns (score, latency_ns)."""
         started = self.engine.now
         model = self.scoring_engine.library[request.document.model_id]

@@ -20,6 +20,7 @@ Stage service times (per document):
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import typing
 
@@ -137,7 +138,7 @@ class RankingStageRole(Role):
     def stage_key(self) -> str:
         return self.name
 
-    def handle(self, packet: Packet) -> typing.Generator:
+    def handle(self, packet: Packet) -> collections.abc.Generator:
         if packet.kind is PacketKind.MODEL_RELOAD:
             yield from self._handle_reload(packet)
         elif packet.kind is PacketKind.REQUEST:
@@ -146,7 +147,7 @@ class RankingStageRole(Role):
             self.busy_ns += self.sim.now - started
             self.docs_processed += 1
 
-    def _handle_reload(self, packet: Packet) -> typing.Generator:
+    def _handle_reload(self, packet: Packet) -> collections.abc.Generator:
         model: RankingModel = self.engine_ref.library[packet.payload]
         self.reloads += 1
         yield self.sim.timeout(self.model_reload_ns(model))
@@ -154,7 +155,7 @@ class RankingStageRole(Role):
         if self.downstream() is not None:
             yield self.forward(packet, packet.size_bytes)
 
-    def process_document(self, packet: Packet) -> typing.Generator:
+    def process_document(self, packet: Packet) -> collections.abc.Generator:
         raise NotImplementedError
 
     def service_ns(self, cycles: float) -> float:
@@ -186,7 +187,7 @@ class FeatureExtractionRole(RankingStageRole):
     def stage_key(self) -> str:
         return "fe"
 
-    def handle(self, packet: Packet) -> typing.Generator:
+    def handle(self, packet: Packet) -> collections.abc.Generator:
         if packet.kind is PacketKind.REQUEST:
             # Into the DRAM queue for its model; the QM drives dispatch.
             payload: RankingPayload = packet.payload
@@ -194,7 +195,7 @@ class FeatureExtractionRole(RankingStageRole):
         return
         yield  # pragma: no cover - handle() must be a generator
 
-    def _switch_model(self, model_id: int) -> typing.Generator:
+    def _switch_model(self, model_id: int) -> collections.abc.Generator:
         """QM model switch: reload FE and ripple a reload downstream."""
         model = self.engine_ref.library[model_id]
         self.reloads += 1
@@ -212,7 +213,7 @@ class FeatureExtractionRole(RankingStageRole):
         )
         yield self.send(reload_packet)
 
-    def _dispatch_document(self, packet: Packet) -> typing.Generator:
+    def _dispatch_document(self, packet: Packet) -> collections.abc.Generator:
         """Dequeue from DRAM, extract features, forward to FFE 0."""
         payload: RankingPayload = packet.payload
         document = payload.document
@@ -237,7 +238,7 @@ class FfeRole(RankingStageRole):
         super().__init__(assignment, role_name)
         self.stage_index = 0 if role_name.endswith("0") else 1
 
-    def process_document(self, packet: Packet) -> typing.Generator:
+    def process_document(self, packet: Packet) -> collections.abc.Generator:
         payload: RankingPayload = packet.payload
         model = self.engine_ref.model_for(payload.document)
         cycles = self.engine_ref.ffe_stage_cycles(model, self.stage_index)
@@ -260,7 +261,7 @@ class CompressionRole(RankingStageRole):
     def stage_key(self) -> str:
         return "compress"
 
-    def process_document(self, packet: Packet) -> typing.Generator:
+    def process_document(self, packet: Packet) -> collections.abc.Generator:
         payload: RankingPayload = packet.payload
         model = self.engine_ref.model_for(payload.document)
         cycles = COMPRESS_FIXED_CYCLES + COMPRESS_CYCLES_PER_SLOT * len(
@@ -280,7 +281,7 @@ class ScoringRole(RankingStageRole):
         super().__init__(assignment, role_name)
         self.bank = int(role_name[-1])
 
-    def process_document(self, packet: Packet) -> typing.Generator:
+    def process_document(self, packet: Packet) -> collections.abc.Generator:
         payload: RankingPayload = packet.payload
         model = self.engine_ref.model_for(payload.document)
         depth = 6  # bank trees evaluate in parallel; latency ~ depth
@@ -305,7 +306,7 @@ class SpareRankingRole(RankingStageRole):
     def stage_key(self) -> str:
         return "spare"
 
-    def handle(self, packet: Packet) -> typing.Generator:
+    def handle(self, packet: Packet) -> collections.abc.Generator:
         # The spare holds no model state; in the ring it only forwards
         # router traffic.  In the loopback harness it echoes requests so
         # its injection rate can be measured like the other stages.

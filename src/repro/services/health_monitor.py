@@ -15,6 +15,7 @@ the Mapping Manager for role relocation.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import typing
 
@@ -178,7 +179,7 @@ class HealthMonitor:
 
     # -- internals -------------------------------------------------------------
 
-    def _investigate_body(self, nodes: list[NodeId], done: Event) -> typing.Generator:
+    def _investigate_body(self, nodes: list[NodeId], done: Event) -> collections.abc.Generator:
         started = self.engine.now
         diagnoses = []
         for node in nodes:
@@ -193,7 +194,7 @@ class HealthMonitor:
             yield self.mapping_manager.handle_failures(report)
         done.succeed(report)
 
-    def _diagnose(self, node: NodeId) -> typing.Generator:
+    def _diagnose(self, node: NodeId) -> collections.abc.Generator:
         server = self.pod.server_at(node)
         machine_id = server.machine_id
         diagnosis = MachineDiagnosis(machine_id, node, ErrorFlags())
@@ -218,7 +219,7 @@ class HealthMonitor:
         diagnosis.flags = self._analyze(node, health, diagnosis.reboots_performed)
         return diagnosis
 
-    def _query(self, machine_id: str) -> typing.Generator:
+    def _query(self, machine_id: str) -> collections.abc.Generator:
         try:
             health = yield self.ethernet.rpc(machine_id, "health", timeout_ns=5e6)
             return health

@@ -10,6 +10,7 @@ errors, or mapping out bad hardware entirely.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import typing
 
@@ -31,7 +32,7 @@ class InsufficientRingCapacity(Exception):
     """More failed nodes than spares: the service cannot stay mapped."""
 
 
-RoleFactory = typing.Callable[["RingAssignment", str], Role]
+RoleFactory = collections.abc.Callable[["RingAssignment", str], Role]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,7 +90,7 @@ class RingAssignment:
                 f"for {len(self.service.roles)} roles"
             )
         self.role_to_node = {}
-        for spec, node in zip(self.service.roles, healthy):
+        for spec, node in zip(self.service.roles, healthy, strict=False):
             self.role_to_node[spec.name] = node
         self.spare_nodes = healthy[len(self.service.roles):]
         self.version += 1
@@ -170,7 +171,7 @@ class MappingManager:
         self,
         service: ServiceDefinition,
         ring_x: int,
-        nodes: typing.Sequence[NodeId] | None = None,
+        nodes: collections.abc.Sequence[NodeId] | None = None,
     ) -> Event:
         """Deploy ``service`` onto ring ``ring_x``; yields the assignment.
 
@@ -218,7 +219,7 @@ class MappingManager:
 
     def _configure_body(
         self, assignment: RingAssignment, nodes: list[NodeId], done: Event
-    ) -> typing.Generator:
+    ) -> collections.abc.Generator:
         """Reconfigure ``nodes`` with their assigned images, then release
         RX-Halt everywhere — only once ALL pipeline FPGAs are configured
         (§3.4).
@@ -287,7 +288,7 @@ class MappingManager:
         self.engine.process(self._handle_failures_body(report, done))
         return done
 
-    def _handle_failures_body(self, report: "HealthReport", done) -> typing.Generator:
+    def _handle_failures_body(self, report: "HealthReport", done) -> collections.abc.Generator:
         for assignment in self.assignments:
             if not assignment.servable:
                 continue  # already exhausted; awaiting reconciliation

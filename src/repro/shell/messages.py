@@ -11,11 +11,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
-import typing
 
 from repro.hardware.constants import SL3_FLIT_BYTES
 
-NodeId = typing.Tuple[int, int]  # (x, y) coordinates in the pod torus
+NodeId = tuple[int, int]  # (x, y) coordinates in the pod torus
 
 
 class PacketKind(enum.Enum):

@@ -16,8 +16,8 @@ masked it first (§3.4) — modelled via the ``on_nmi`` callback.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
-import typing
 
 from repro.hardware.constants import (
     PCIE_DMA_SETUP_NS,
@@ -174,13 +174,14 @@ class PcieCore:
         self.setup_ns = setup_ns
         self.stats = PcieStats()
         self.device_up = True
-        self.on_nmi: typing.Callable[[], None] | None = None
+        self.on_nmi: collections.abc.Callable[[], None] | None = None
         self._device_up_event: Event | None = None
         # Two staging buffers on the FPGA: at most two DMA transfers
         # can be in flight between host memory and the router.
         self._staging = Resource(engine, capacity=staging_buffers, name="pcie-staging")
-        engine.process(self._input_scan_loop(), name="pcie.scan")
-        engine.process(self._output_loop(), name="pcie.out")
+        # Expendable: both DMA loops idle forever once traffic stops.
+        engine.process(self._input_scan_loop(), name="pcie.scan", expendable=True)
+        engine.process(self._output_loop(), name="pcie.out", expendable=True)
 
     # -- reconfiguration visibility ----------------------------------------------
 
@@ -206,7 +207,7 @@ class PcieCore:
     def dma_time_ns(self, size_bytes: int) -> float:
         return self.setup_ns + transfer_time_ns(size_bytes, self.gbps)
 
-    def _input_scan_loop(self) -> typing.Generator:
+    def _input_scan_loop(self) -> collections.abc.Generator:
         buffers = self.buffers
         while True:
             if not self.device_up:
@@ -242,7 +243,7 @@ class PcieCore:
                     yield put
                 self._staging.release()
 
-    def _output_loop(self) -> typing.Generator:
+    def _output_loop(self) -> collections.abc.Generator:
         queue = self.router.output_queues[Port.PCIE]
         while True:
             packet: Packet = yield queue.get()

@@ -13,6 +13,7 @@ for managing system correctness".  Concretely a role:
 
 from __future__ import annotations
 
+import collections.abc
 import typing
 
 from repro.shell.messages import Packet, PacketKind
@@ -39,8 +40,11 @@ class Role:
     def attach(self, shell: "Shell") -> None:
         """Bind to a shell and start the receive loop."""
         self.shell = shell
+        # Expendable: the receive loop serves packets until detach().
         self.process = shell.engine.process(
-            self._receive_loop(), name=f"role.{self.name}@{shell.node_id}"
+            self._receive_loop(),
+            name=f"role.{self.name}@{shell.node_id}",
+            expendable=True,
         )
         self.on_attach()
 
@@ -56,7 +60,7 @@ class Role:
 
     # -- data path ------------------------------------------------------------
 
-    def _receive_loop(self) -> typing.Generator:
+    def _receive_loop(self) -> collections.abc.Generator:
         assert self.shell is not None
         queue = self.shell.router.output_queues[Port.ROLE]
         while True:
@@ -69,7 +73,7 @@ class Role:
             self.packets_handled += 1
             yield from self.handle(packet)
 
-    def handle(self, packet: Packet) -> typing.Generator:
+    def handle(self, packet: Packet) -> collections.abc.Generator:
         """Process one packet; override in subclasses.  Must be a generator."""
         if False:  # pragma: no cover - makes the default a generator
             yield
@@ -100,7 +104,7 @@ class PassthroughRole(Role):
         self.next_hop = next_hop
         self.delay_ns = delay_ns
 
-    def handle(self, packet: Packet) -> typing.Generator:
+    def handle(self, packet: Packet) -> collections.abc.Generator:
         if self.delay_ns:
             yield self.shell.engine.timeout(self.delay_ns)
         if self.next_hop is not None:

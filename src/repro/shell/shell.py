@@ -17,8 +17,8 @@ The shell also implements the §3.4 safe-reconfiguration sequence:
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
-import typing
 
 from repro.hardware.bitstream import Bitstream
 from repro.hardware.constants import DramSpeed
@@ -98,11 +98,16 @@ class Shell:
         endpoint.deliver = lambda packet: self.router.submit(packet, port)
         endpoint.advertised_id = self.machine_id  # exchanged at link training
         self.endpoints[port] = endpoint
-        self.engine.process(self._link_feeder(port, endpoint), name=f"feed.{endpoint.name}")
+        # Expendable: a feeder blocks forever once traffic stops.
+        self.engine.process(
+            self._link_feeder(port, endpoint),
+            name=f"feed.{endpoint.name}",
+            expendable=True,
+        )
         self.fdr.record_power_on(f"sl3_{port.value}_lock", endpoint.locked)
         return endpoint
 
-    def _link_feeder(self, port: Port, endpoint: Sl3Endpoint) -> typing.Generator:
+    def _link_feeder(self, port: Port, endpoint: Sl3Endpoint) -> collections.abc.Generator:
         """Drain the router output queue for ``port`` onto the link."""
         queue = self.router.output_queues[port]
         while True:
@@ -155,7 +160,7 @@ class Shell:
         self.engine.process(self._safe_reconfigure_body(bitstream, done))
         return done
 
-    def _safe_reconfigure_body(self, bitstream: Bitstream, done: Event) -> typing.Generator:
+    def _safe_reconfigure_body(self, bitstream: Bitstream, done: Event) -> collections.abc.Generator:
         # 1. Tell every neighbour to ignore us.
         self.tx_halt_asserted = True
         for endpoint in self.endpoints.values():
@@ -195,7 +200,7 @@ class Shell:
         done = self.engine.event(name=f"partial-reconfig:{self.machine_id}")
         started = self.fpga.partial_reconfigure(bitstream, reload_ns=reload_ns)
 
-        def body() -> typing.Generator:
+        def body() -> collections.abc.Generator:
             try:
                 yield started
             except Exception as exc:
@@ -226,7 +231,7 @@ class Shell:
 
     # -- background services -----------------------------------------------------------------
 
-    def _seu_scrubber(self) -> typing.Generator:
+    def _seu_scrubber(self) -> collections.abc.Generator:
         """Continuously scrub configuration-memory soft errors (§3.2)."""
         while True:
             yield self.engine.timeout(self.config.seu_scrub_period_ns)

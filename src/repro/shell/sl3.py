@@ -20,8 +20,8 @@ The reconfiguration-safety protocol (§3.4) also lives at this layer:
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
-import typing
 
 from repro.hardware.constants import (
     SL3_ECC_BANDWIDTH_TAX,
@@ -32,9 +32,6 @@ from repro.hardware.constants import (
 from repro.shell.messages import Packet, PacketKind
 from repro.sim import Engine, Store
 from repro.sim.units import transfer_time_ns
-
-if typing.TYPE_CHECKING:  # pragma: no cover
-    pass
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,7 +86,7 @@ class Sl3Endpoint:
         self.ignore_peer = False  # set by the peer's TX Halt
         self.locked = True  # SERDES lock (power-on check in the FDR)
         # Wired by the shell: invoked with each delivered packet.
-        self.deliver: typing.Callable[[Packet], object] | None = None
+        self.deliver: collections.abc.Callable[[Packet], object] | None = None
         self.link: "Sl3Link | None" = None
 
     @property
@@ -148,8 +145,13 @@ class Sl3Link:
         self.broken = False  # cable failure
         self._rng = engine.rng.stream(f"sl3:{name}")
         for src, dst in ((a, b), (b, a)):
-            engine.process(self._wire(src, dst), name=f"sl3.wire.{src.name}")
-            engine.process(self._delivery(dst), name=f"sl3.rx.{dst.name}")
+            # Expendable: link loops wait for the next flit forever.
+            engine.process(
+                self._wire(src, dst), name=f"sl3.wire.{src.name}", expendable=True
+            )
+            engine.process(
+                self._delivery(dst), name=f"sl3.rx.{dst.name}", expendable=True
+            )
 
     # -- processes --------------------------------------------------------
 

@@ -20,6 +20,14 @@ from repro.sim.events import (
 )
 from repro.sim.process import Process, ProcessKilled
 from repro.sim.rng import RngStreams
+from repro.sim.sanitizer import (
+    DualRunReport,
+    SanitizerError,
+    SanitizerFinding,
+    SimSanitizer,
+    dual_run,
+    state_digest,
+)
 from repro.sim.stores import PriorityStore, Store, StoreFull
 from repro.sim.resources import Resource
 from repro.sim.units import MS, NS, SEC, US, cycles_to_ns, ns_to_us
@@ -27,6 +35,7 @@ from repro.sim.units import MS, NS, SEC, US, cycles_to_ns, ns_to_us
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DualRunReport",
     "Engine",
     "Event",
     "Interrupt",
@@ -38,11 +47,16 @@ __all__ = [
     "Resource",
     "RngStreams",
     "SEC",
+    "SanitizerError",
+    "SanitizerFinding",
+    "SimSanitizer",
     "SimulationError",
     "Store",
     "StoreFull",
     "Timeout",
     "US",
     "cycles_to_ns",
+    "dual_run",
     "ns_to_us",
+    "state_digest",
 ]

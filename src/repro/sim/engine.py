@@ -26,8 +26,10 @@ event order is bit-identical to a single-heap engine
 
 from __future__ import annotations
 
+import collections.abc
 import heapq
 import math
+import os
 import typing
 from collections import deque
 
@@ -35,7 +37,10 @@ from repro.sim.events import Event, Timeout
 from repro.sim.rng import RngStreams
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Iterator
+
     from repro.sim.process import Process
+    from repro.sim.sanitizer import SimSanitizer
 
 # One timer-wheel band covers this much simulated time.  Coarse enough
 # that band bookkeeping is negligible, fine enough that a cancelled
@@ -74,11 +79,29 @@ class Engine:
         seed: int = 0,
         timer_wheel: bool = True,
         timer_band_ns: float = DEFAULT_BAND_NS,
+        sanitize: bool | None = None,
+        tie_break_salt: int = 0,
     ):
         if timer_band_ns <= 0:
             raise ValueError(f"band width must be positive, got {timer_band_ns}")
         self.now: float = 0.0
         self.rng = RngStreams(seed)
+        # -- SimSanitizer (opt-in runtime race/leak detection) --
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        self.sanitizer: SimSanitizer | None = None
+        if sanitize:
+            from repro.sim.sanitizer import SimSanitizer
+
+            self.sanitizer = SimSanitizer(self)
+        # A nonzero salt permutes the tie-break keys of same-timestamp
+        # events — a *legal alternative schedule* the dual-run race
+        # detector compares against the FIFO baseline.  Salted engines
+        # route every entry through the heap (the ready-deque/wheel
+        # fast paths assume monotonic keys).
+        self._tie_salt = tie_break_salt
+        if tie_break_salt:
+            timer_wheel = False
         self._queue: list[tuple[float, int, Event]] = []  # near-deadline heap
         self._ready: deque[tuple[float, int, Event]] = deque()  # triggered, due now
         self._seq = 0
@@ -111,6 +134,12 @@ class Engine:
         if when < self.now:
             raise SimulationError(f"cannot schedule at {when} < now {self.now}")
         self._seq += 1
+        seq = self._seq
+        if self._tie_salt:
+            # XOR with the salt is a bijection on the key space:
+            # uniqueness (hence a total order) is preserved while the
+            # relative order of same-timestamp entries is permuted.
+            seq ^= self._tie_salt
         event._scheduled = True
         if not event._daemon:
             self._nondaemon_pending += 1
@@ -124,15 +153,15 @@ class Engine:
             if band > self._band_floor:
                 bucket = self._bands.get(band)
                 if bucket is None:
-                    self._bands[band] = [(when, self._seq, event)]
+                    self._bands[band] = [(when, seq, event)]
                     heapq.heappush(self._band_heap, band)
                     start = self._band_heap[0] * self._band_ns
                     if start < self._band_start:
                         self._band_start = start
                 else:
-                    bucket.append((when, self._seq, event))
+                    bucket.append((when, seq, event))
                 return
-        heapq.heappush(self._queue, (when, self._seq, event))
+        heapq.heappush(self._queue, (when, seq, event))
 
     def _schedule_trigger(self, event: Event) -> None:
         """Schedule dispatch of an already-triggered event at ``now``.
@@ -148,7 +177,12 @@ class Engine:
         pending = self._pending = self._pending + 1
         if pending > self.peak_queue_length:
             self.peak_queue_length = pending
-        self._ready.append((self.now, self._seq, event))
+        if self._tie_salt:
+            # Salted engines have no FIFO tier: the permuted key decides
+            # the order among same-timestamp entries via the heap.
+            heapq.heappush(self._queue, (self.now, self._seq ^ self._tie_salt, event))
+        else:
+            self._ready.append((self.now, self._seq, event))
 
     def _note_cancel(self) -> None:
         """Record a cancellation; compact the queue when dead weight wins.
@@ -207,19 +241,34 @@ class Engine:
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
         """Create an event that fires ``delay`` ns from now."""
-        return Timeout(self, delay, value)
+        timeout = Timeout(self, delay, value)
+        if self.sanitizer is not None:
+            self.sanitizer.note_timeout(timeout)
+        return timeout
 
     def process(
-        self, generator: typing.Generator, name: str = "", daemon: bool = False
+        self,
+        generator: collections.abc.Generator,
+        name: str = "",
+        daemon: bool = False,
+        expendable: bool = False,
     ) -> "Process":
         """Spawn a new process from a generator.
 
         ``daemon=True`` marks background periodic work that should not
-        keep a bare :meth:`run` alive.
+        keep a bare :meth:`run` alive.  ``expendable=True`` marks a
+        process that may legitimately never finish (e.g. a quarantine
+        drain waiting on a response that was lost in the fabric) so the
+        sanitizer's orphan detector does not report it.
         """
         from repro.sim.process import Process
 
-        return Process(self, generator, name=name, daemon=daemon)
+        process = Process(
+            self, generator, name=name, daemon=daemon, expendable=expendable
+        )
+        if self.sanitizer is not None:
+            self.sanitizer.note_process(process)
+        return process
 
     # -- queue internals -------------------------------------------------
 
@@ -304,6 +353,8 @@ class Engine:
     def _dispatch(self, entry: tuple[float, int, Event]) -> None:
         """Advance the clock to ``entry`` and run its event's callbacks."""
         event = entry[2]
+        if self.sanitizer is not None:
+            self.sanitizer.on_dispatch(entry[0], event)
         self.now = entry[0]
         if not event._daemon:
             self._nondaemon_pending -= 1
@@ -365,6 +416,10 @@ class Engine:
             self._running = False
         if until is not None and self.now < until:
             self.now = until
+        if self.sanitizer is not None:
+            # Leak checks fire on the normal-exit path only (a crashed
+            # dispatch already has a better error in flight).
+            self.sanitizer.check(drained=until is None)
         return self.now
 
     def run_until(self, event: Event) -> object:
@@ -389,6 +444,13 @@ class Engine:
                 break
             dispatch(entry)
         return event.value
+
+    def _pending_entries(self) -> "Iterator[tuple[float, int, Event]]":
+        """Every queued entry across all tiers (diagnostic/sanitizer)."""
+        yield from self._ready
+        yield from self._queue
+        for bucket in self._bands.values():
+            yield from bucket
 
     @property
     def queue_length(self) -> int:

@@ -14,6 +14,7 @@ list is allocated lazily (most events never get more than one waiter).
 
 from __future__ import annotations
 
+import collections.abc
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -115,7 +116,7 @@ class Event:
 
     # -- engine plumbing -------------------------------------------------
 
-    def add_callback(self, callback: typing.Callable[["Event"], None]) -> None:
+    def add_callback(self, callback: collections.abc.Callable[["Event"], None]) -> None:
         """Register ``callback``; fired immediately if already dispatched."""
         if self._dispatched:
             callback(self)
@@ -180,7 +181,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_ok_count")
 
-    def __init__(self, engine: "Engine", events: typing.Sequence[Event]):
+    def __init__(self, engine: "Engine", events: collections.abc.Sequence[Event]):
         super().__init__(engine, name=self.__class__.__name__)
         self.events = list(events)
         # Count satisfied children instead of rescanning the whole list

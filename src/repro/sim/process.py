@@ -7,6 +7,7 @@ other by yielding them (a *join*).
 
 from __future__ import annotations
 
+import collections.abc
 import typing
 
 from repro.sim.events import Event, Interrupt
@@ -26,20 +27,24 @@ class Process(Event):
     event value, observable by any process that yields (joins) it.
     """
 
-    __slots__ = ("generator", "daemon", "_waiting_on")
+    __slots__ = ("generator", "daemon", "expendable", "_waiting_on")
 
     def __init__(
         self,
         engine: "Engine",
-        generator: typing.Generator,
+        generator: collections.abc.Generator,
         name: str = "",
         daemon: bool = False,
+        expendable: bool = False,
     ):
         if not hasattr(generator, "send"):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self.daemon = daemon
+        # May legitimately never finish (see Engine.process); consulted
+        # only by the sanitizer's orphan detector.
+        self.expendable = expendable
         self._waiting_on: Event | None = None
         # Kick-start on the next engine dispatch at the current time.
         start = Event(engine, name="start")

@@ -25,6 +25,7 @@ throughput recovers as soon as the control plane restores a replica.
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 import math
 import random
@@ -169,7 +170,7 @@ class OpenLoopStats:
 class _SinkProtocol(typing.Protocol):  # pragma: no cover - typing aid
     outstanding: int
 
-    def submit(self, request, timeout_ns: float) -> typing.Generator: ...
+    def submit(self, request, timeout_ns: float) -> collections.abc.Generator: ...
 
 
 class OpenLoopInjector:
@@ -196,7 +197,7 @@ class OpenLoopInjector:
         engine: Engine,
         sink: "_SinkProtocol",
         arrivals: ArrivalProcess,
-        pool: typing.Sequence,
+        pool: collections.abc.Sequence,
         max_queue_depth: int | None = None,
         timeout_ns: float = 5 * SEC,
         seed_tag: str = "openloop",
@@ -244,7 +245,7 @@ class OpenLoopInjector:
         if self._open == 0:
             self._done.succeed(self.stats)
 
-    def _arrivals_body(self, count: int) -> typing.Generator:
+    def _arrivals_body(self, count: int) -> collections.abc.Generator:
         engine = self.engine
         timeout = engine.timeout
         spawn = engine.process
@@ -290,7 +291,7 @@ class OpenLoopInjector:
                 spawn(self._handle(self._next_request(), now))
         self._close_one()  # release the source's own count
 
-    def _handle(self, request, arrived_ns: float) -> typing.Generator:
+    def _handle(self, request, arrived_ns: float) -> collections.abc.Generator:
         try:
             response = yield from self.sink.submit(
                 request, timeout_ns=self.timeout_ns

@@ -10,9 +10,9 @@ experiments, §4.3).
 from __future__ import annotations
 
 import bisect
+import collections.abc
 import dataclasses
 import random
-import typing
 
 from repro.ranking.documents import (
     CompressedDocument,
@@ -22,6 +22,7 @@ from repro.ranking.documents import (
     Query,
     StreamHits,
 )
+from repro.sim.rng import RngStreams
 from repro.workloads.sizes import DocumentSizeDistribution
 
 # Average encoded bytes per hit tuple, used to size documents; tuples
@@ -79,7 +80,7 @@ class TraceGenerator:
             raise ValueError("model_mix must be non-empty")
         if any(weight <= 0 for weight in model_mix.values()):
             raise ValueError(f"model_mix weights must be positive, got {model_mix}")
-        self.rng = random.Random(seed)
+        self.rng = RngStreams(seed).stream("trace-generator")
         self.sizes = DocumentSizeDistribution(self.rng)
         self.terms = ZipfSampler(vocabulary, self.rng)
         self.codec = DocumentCodec()
@@ -174,6 +175,6 @@ class TraceGenerator:
         encoded = self.codec.encode(document)
         return ScoringRequest(query=query, document=document, encoded=encoded)
 
-    def requests(self, count: int) -> typing.Iterator[ScoringRequest]:
+    def requests(self, count: int) -> collections.abc.Iterator[ScoringRequest]:
         for _ in range(count):
             yield self.request()

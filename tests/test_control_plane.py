@@ -68,7 +68,7 @@ def test_spec_validates_fields():
 
 def test_spec_is_frozen_and_rescalable():
     spec = echo_spec()
-    with pytest.raises(Exception):
+    with pytest.raises(AttributeError):  # frozen dataclass
         spec.replicas = 5
     scaled = spec.with_replicas(4)
     assert scaled.replicas == 4

@@ -192,7 +192,7 @@ def test_pod_builds_all_servers_and_links(small_pod_engine):
 
 def test_pod_routing_tables_complete(small_pod_engine):
     _eng, pod = small_pod_engine
-    for node, server in pod.servers.items():
+    for server in pod.servers.values():
         assert len(server.shell.router.routing_table) == 11
 
 

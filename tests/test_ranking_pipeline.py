@@ -127,7 +127,7 @@ def test_ranking_bitstreams_fit_device():
     assert set(synthesized) == {
         "fe", "ffe0", "ffe1", "compress", "score0", "score1", "score2", "spare"
     }
-    for role, (bitstream, report) in synthesized.items():
+    for bitstream, report in synthesized.values():
         assert bitstream.fits(bitstream_device(report))
         assert 0 < report.logic_pct <= 100
         assert 0 < report.ram_pct <= 100

@@ -219,7 +219,7 @@ def test_xoff_backpressure_counts_and_preserves_packets():
     b.deliver = slow_deliver
 
     def sender(eng, a):
-        for i in range(10):
+        for _ in range(10):
             yield a.send(request(size=1024))
 
     eng.process(sender(eng, a))

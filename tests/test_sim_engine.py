@@ -286,6 +286,7 @@ def test_anyof_returns_on_first():
         t1 = eng.timeout(3.0, value="fast")
         t2 = eng.timeout(7.0, value="slow")
         got = yield AnyOf(eng, [t1, t2])
+        t2.cancel()  # disarm the loser so the run ends at the winner
         return (eng.now, list(got.values()))
 
     proc = eng.process(body(eng))
@@ -364,7 +365,8 @@ def test_cancelled_timeout_does_not_hold_run_open():
 
 
 def test_cancel_after_trigger_is_noop():
-    eng = Engine()
+    # sanitize=False: the bare, never-awaited timeout is the point here.
+    eng = Engine(sanitize=False)
     timeout = eng.timeout(5.0)
     eng.run()
     assert timeout.triggered
@@ -485,7 +487,8 @@ def test_band_boundary_timeout_is_not_late():
 
 
 def test_engine_diagnostics_counters():
-    eng = Engine()
+    # sanitize=False: bare timeouts are armed on purpose to count them.
+    eng = Engine(sanitize=False)
     eng.timeout(1.0)
     eng.timeout(2.0)
     cancelled = eng.timeout(3.0)

@@ -1,0 +1,318 @@
+"""Tests for simlint: every rule positive + negative + allowlisted."""
+
+import json
+import textwrap
+
+from repro.analysis.lint.cli import iter_python_files, main
+from repro.analysis.lint.framework import Linter
+from repro.analysis.lint.registry import default_rules
+
+
+def lint(source: str, path: str = "src/repro/example.py"):
+    linter = Linter(default_rules())
+    return linter.lint_source(path, textwrap.dedent(source))
+
+
+def codes(source: str, path: str = "src/repro/example.py"):
+    return [finding.code for finding in lint(source, path)]
+
+
+# --- SIM001: bare RNG ---------------------------------------------------------------
+
+
+def test_rng_flags_bare_random_constructor():
+    assert codes("import random\nrng = random.Random(7)\n") == ["SIM001"]
+
+
+def test_rng_flags_module_level_draw():
+    assert codes("import random\nx = random.choice([1, 2])\n") == ["SIM001"]
+
+
+def test_rng_flags_from_import():
+    assert codes("from random import choice\n") == ["SIM001"]
+
+
+def test_rng_clean_on_named_stream():
+    src = "x = engine.rng.stream('pod:0').random()\n"
+    assert codes(src) == []
+
+
+def test_rng_clean_on_local_stream_object():
+    # rng.random() is a draw from an (already justified) stream object,
+    # not the random module.
+    assert codes("y = rng.random()\n") == []
+
+
+def test_rng_exempts_the_stream_factory_itself():
+    src = "import random\nr = random.Random(3)\n"
+    assert codes(src, path="src/repro/sim/rng.py") == []
+
+
+def test_rng_allowlisted_inline():
+    src = (
+        "import random\n"
+        "r = random.Random(3)  # simlint: allow-rng -- engine-free fixture\n"
+    )
+    assert codes(src) == []
+
+
+def test_rng_allowlisted_from_comment_block_above():
+    src = """\
+    import random
+    # simlint: allow-rng -- a justification long enough that it
+    # wraps across several comment lines before the statement.
+    r = random.Random(3)
+    """
+    assert codes(src) == []
+
+
+# --- SIM002: wall clock -------------------------------------------------------------
+
+
+def test_wall_clock_flags_perf_counter_and_datetime_now():
+    src = """\
+    import time
+    import datetime
+    t = time.perf_counter()
+    d = datetime.datetime.now()
+    """
+    assert codes(src) == ["SIM002", "SIM002"]
+
+
+def test_wall_clock_clean_on_engine_now():
+    assert codes("t = engine.now\n") == []
+
+
+def test_wall_clock_allowlisted():
+    src = (
+        "import time\n"
+        "t = time.perf_counter()  # simlint: allow-wall-clock -- harness timing\n"
+    )
+    assert codes(src) == []
+
+
+# --- SIM003: real sleep -------------------------------------------------------------
+
+
+def test_real_sleep_flags_call_and_import():
+    assert codes("import time\ntime.sleep(1)\n") == ["SIM003"]
+    assert codes("from time import sleep\n") == ["SIM003"]
+
+
+def test_real_sleep_clean_on_sim_timeout():
+    src = """\
+    def body(engine):
+        yield engine.timeout(5.0)
+    """
+    assert codes(src) == []
+
+
+# --- SIM004: OS entropy -------------------------------------------------------------
+
+
+def test_entropy_flags_urandom_uuid4_secrets():
+    src = """\
+    import os, uuid, secrets
+    a = os.urandom(8)
+    b = uuid.uuid4()
+    c = secrets.token_hex(4)
+    """
+    assert codes(src) == ["SIM004", "SIM004", "SIM004"]
+
+
+def test_entropy_flags_secrets_import():
+    assert codes("from secrets import token_hex\n") == ["SIM004"]
+
+
+def test_system_random_reports_entropy_not_rng():
+    # One finding, not two: SIM004 owns SystemRandom.
+    assert codes("import random\nr = random.SystemRandom()\n") == ["SIM004"]
+
+
+def test_entropy_clean_on_uuid5():
+    # uuid5 is a pure hash of its inputs: deterministic, allowed.
+    assert codes("import uuid\nu = uuid.uuid5(uuid.NAMESPACE_DNS, 'x')\n") == []
+
+
+# --- SIM005: set iteration ----------------------------------------------------------
+
+
+def test_set_iteration_flags_for_loop_over_set_literal():
+    src = """\
+    for node in {1, 2, 3}:
+        place(node)
+    """
+    assert codes(src) == ["SIM005"]
+
+
+def test_set_iteration_flags_comprehension_and_list_call():
+    assert codes("xs = [n for n in set(nodes)]\n") == ["SIM005"]
+    assert codes("xs = list({1} | {2})\n") == ["SIM005"]
+
+
+def test_set_iteration_clean_when_sorted():
+    src = """\
+    for node in sorted({1, 2, 3}):
+        place(node)
+    """
+    assert codes(src) == []
+
+
+def test_set_iteration_clean_over_list():
+    src = """\
+    for node in [1, 2, 3]:
+        place(node)
+    """
+    assert codes(src) == []
+
+
+# --- SIM006: id() ordering ----------------------------------------------------------
+
+
+def test_id_ordering_flags_id_call():
+    assert codes("order = sorted(objs, key=lambda o: id(o))\n") == ["SIM006"]
+
+
+def test_id_ordering_clean_on_stable_key():
+    assert codes("order = sorted(objs, key=lambda o: o.name)\n") == []
+
+
+def test_id_ordering_allowlisted():
+    src = (
+        "seen = {id(o) for o in objs}"
+        "  # simlint: allow-id-ordering -- uniqueness only\n"
+    )
+    assert codes(src) == []
+
+
+# --- SIM007: unbounded accumulators -------------------------------------------------
+
+
+def test_unbounded_accum_flags_latency_list():
+    assert codes("latencies = []\n") == ["SIM007"]
+    assert codes("self.samples = list()\n") == ["SIM007"]
+    assert codes("durations_ns: list = []\n") == ["SIM007"]
+
+
+def test_unbounded_accum_clean_on_reservoir_or_other_names():
+    assert codes("latencies = ReservoirSample()\n") == []
+    assert codes("names = []\n") == []
+
+
+def test_unbounded_accum_exempts_reservoir_implementation():
+    assert codes("self._sample_ns = []\n", path="src/repro/analysis/stats.py") == []
+
+
+# --- SIM008: dead yields ------------------------------------------------------------
+
+
+def test_dead_yield_flags_fresh_event():
+    src = """\
+    def body(engine):
+        yield engine.event()
+    """
+    assert codes(src) == ["SIM008"]
+
+
+def test_dead_yield_clean_when_event_is_referenced():
+    src = """\
+    def body(engine, mailbox):
+        ev = engine.event()
+        mailbox.append(ev)
+        yield ev
+    """
+    assert codes(src) == []
+
+
+# --- SIM000: the allowlist itself ---------------------------------------------------
+
+
+def test_allow_without_reason_is_a_finding_and_grants_nothing():
+    src = "import random\nr = random.Random(3)  # simlint: allow-rng\n"
+    assert sorted(codes(src)) == ["SIM000", "SIM001"]
+
+
+def test_allow_unknown_rule_is_a_finding():
+    src = "x = 1  # simlint: allow-made-up-rule -- because\n"
+    assert codes(src) == ["SIM000"]
+
+
+def test_directive_without_allow_clause_is_a_finding():
+    assert codes("x = 1  # simlint: please ignore\n") == ["SIM000"]
+
+
+def test_directive_inside_string_is_not_a_directive():
+    assert codes("s = '# simlint: allow-rng'\n") == []
+
+
+def test_one_directive_can_cover_two_rules():
+    src = (
+        "import random, time\n"
+        "# simlint: allow-rng, allow-wall-clock -- harness-local seed+timer\n"
+        "r = random.Random(time.time_ns())\n"
+    )
+    assert codes(src) == []
+
+
+# --- SIM999 + findings metadata -----------------------------------------------------
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = lint("def broken(:\n")
+    assert [finding.code for finding in findings] == ["SIM999"]
+
+
+def test_finding_format_is_path_line_col_code():
+    (finding,) = lint("import random\nr = random.Random(1)\n")
+    assert finding.format().startswith("src/repro/example.py:2:")
+    assert "SIM001" in finding.format()
+
+
+# --- the command line ---------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_select(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nr = random.Random(1)\nlatencies = []\n")
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    capsys.readouterr()  # flush output of the runs above
+    # --select narrows the rule set: only the accumulator remains.
+    assert main([str(dirty), "--select", "unbounded-accum"]) == 1
+    out = capsys.readouterr().out
+    assert "SIM007" in out and "SIM001" not in out
+    # --ignore removes both findings.
+    assert main([str(dirty), "--ignore", "rng,unbounded-accum"]) == 0
+
+
+def test_cli_json_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nr = random.Random(1)\n")
+    assert main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["code"] == "SIM001"
+    assert payload[0]["line"] == 2
+
+
+def test_cli_usage_errors(tmp_path):
+    assert main([]) == 2
+    assert main([str(tmp_path / "missing")]) == 2
+    assert main([str(tmp_path), "--select", "nope"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SIM001", "SIM002", "SIM005", "SIM008"):
+        assert code in out
+
+
+def test_iter_python_files_skips_caches(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+    (tmp_path / "keep.py").write_text("x = 1\n")
+    files = iter_python_files([str(tmp_path)])
+    assert [path.name for path in files] == ["keep.py"]
