@@ -5,7 +5,9 @@ rescale it, drain it.
 Builds a two-pod datacenter and hands the control plane a ServiceSpec —
 "three ranking replicas, spread across pods, least-outstanding front
 end".  The ClusterManager places the rings, wires the health monitors,
-and returns a handle; open-loop users drive the handle directly.  A
+and returns a handle; open-loop users submit through the service's
+stable virtual endpoint (``manager.endpoint(name)``), which keeps
+resolving the live deployment through every re-placement or rescale.  A
 `scale(4)` re-declares the replica count mid-run and reconciliation
 converges onto it; `drain()` tears everything down.  This is the
 paper's production shape (§2.3) in miniature: operators declare, the
@@ -51,6 +53,7 @@ def main() -> None:
         model_scale=0.1,
     )
     handle = cluster.handle
+    endpoint = fabric.manager().endpoint("bing-ranking")
     print_status(handle)
 
     generator = TraceGenerator(seed=42)
@@ -63,7 +66,7 @@ def main() -> None:
     print("\nPhase 1: steady Poisson load, 60 K docs/s offered...")
     steady = OpenLoopInjector(
         fabric.engine,
-        handle,
+        endpoint,
         PoissonArrivals(60_000),
         pool,
         max_queue_depth=256,
@@ -85,7 +88,7 @@ def main() -> None:
     print("\nPhase 2: bursty on/off load, 40 K base / 600 K burst docs/s...")
     bursty = OpenLoopInjector(
         fabric.engine,
-        handle,
+        endpoint,
         BurstyArrivals(
             base_rate_per_s=40_000,
             burst_rate_per_s=600_000,

@@ -89,6 +89,18 @@ class LatencyStats:
             max=self.max * factor,
         )
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form (stable keys, plain numbers)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+        }
+
 
 class ReservoirSample:
     """Bounded-memory latency accumulator (Vitter's Algorithm R).

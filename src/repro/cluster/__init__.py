@@ -38,9 +38,20 @@ from repro.cluster.bitstream_cache import (
     BitstreamCache,
     CACHED_RELOAD_NS,
 )
+from repro.cluster.clusterfile import (
+    ClusterApply,
+    ClusterDiff,
+    DiffEntry,
+    apply_cluster,
+    apply_file,
+    diff_cluster,
+    dump_cluster,
+    load_cluster,
+)
 from repro.cluster.composite import CompositeDeployment
 from repro.cluster.deployment import Deployment, InjectorStats, RequestAdapter
 from repro.cluster.echo import EchoRole, echo_service
+from repro.cluster.endpoint import ServiceEndpoint
 from repro.cluster.failures import ClusterFailureInjector
 from repro.cluster.load_balancer import (
     BALANCING_POLICIES,
@@ -55,6 +66,7 @@ from repro.cluster.manager import (
     ServiceHandle,
     ServiceStatus,
 )
+from repro.cluster.metrics import MetricsRegistry, read_series
 from repro.cluster.repair import (
     REPAIR_DISTRIBUTIONS,
     RepairPolicy,
@@ -87,16 +99,20 @@ __all__ = [
     "BitstreamCache",
     "CACHED_RELOAD_NS",
     "CapacityReport",
+    "ClusterApply",
+    "ClusterDiff",
     "ClusterFailureInjector",
     "ClusterManager",
     "ClusterScheduler",
     "CompositeDeployment",
     "Deployment",
+    "DiffEntry",
     "EchoRole",
     "echo_service",
     "InjectorStats",
     "InsufficientClusterCapacity",
     "LoadBalancer",
+    "MetricsRegistry",
     "NoHealthyDeployment",
     "PLACEMENT_POLICIES",
     "PlacementDecision",
@@ -109,8 +125,15 @@ __all__ = [
     "RequestAdapter",
     "RingSlot",
     "RingStatus",
+    "ServiceEndpoint",
     "ServiceHandle",
     "ServiceSpec",
     "ServiceStatus",
     "ServiceTicket",
+    "apply_cluster",
+    "apply_file",
+    "diff_cluster",
+    "dump_cluster",
+    "load_cluster",
+    "read_series",
 ]

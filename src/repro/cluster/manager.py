@@ -35,9 +35,10 @@ import collections.abc
 import dataclasses
 import typing
 
-from repro.analysis import percentile
+from repro.analysis import LatencyStats, percentile
 from repro.cluster.composite import CompositeDeployment
 from repro.cluster.deployment import Deployment
+from repro.cluster.endpoint import ServiceEndpoint
 from repro.cluster.load_balancer import LoadBalancer
 from repro.cluster.repair import RepairPolicy, RepairQueue, ServiceTicket
 from repro.cluster.scheduler import (
@@ -74,10 +75,36 @@ class RingStatus:
     p99_us: float | None
     member_slots: tuple = ()
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form; slots serialize as ``"podP/ringR"``."""
+        return {
+            "name": self.name,
+            "slot": _slot_key(self.slot),
+            "health": self.health,
+            "outstanding": self.outstanding,
+            "completed": self.completed,
+            "timeouts": self.timeouts,
+            "throughput_per_s": self.throughput_per_s,
+            "p99_us": self.p99_us,
+            "member_slots": [_slot_key(slot) for slot in self.member_slots],
+        }
+
+
+def _slot_key(slot: RingSlot) -> str:
+    return f"pod{slot.pod_id}/ring{slot.ring_x}"
+
 
 @dataclasses.dataclass(frozen=True)
 class ServiceStatus:
-    """Observed vs desired state of one service."""
+    """Observed vs desired state of one service.
+
+    Beyond the replica counts, the status carries the front end's
+    aggregate view (dispatch counters, throughput, latency summary) and
+    the per-ring breakdowns the balancer keeps internally
+    (``per_ring_latency`` / ``per_ring_throughput``), so per-ring skew
+    is observable without reaching into the
+    :class:`~repro.cluster.load_balancer.LoadBalancer`.
+    """
 
     service: str
     desired_replicas: int
@@ -85,10 +112,49 @@ class ServiceStatus:
     degraded_replicas: int
     capacity: CapacityReport
     rings: tuple
+    outstanding: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    timeouts: int = 0
+    throughput_per_s: float = 0.0
+    latency: "LatencyStats | None" = None
+    per_ring_latency: dict = dataclasses.field(default_factory=dict)
+    per_ring_throughput: dict = dataclasses.field(default_factory=dict)
 
     @property
     def converged(self) -> bool:
         return self.ready_replicas >= self.desired_replicas
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form: sorted, string-keyed, recursively plain.
+
+        Nested dataclasses serialize through their own ``to_dict``;
+        every mapping is emitted in sorted key order so the document is
+        byte-stable for same-seed runs.
+        """
+        return {
+            "service": self.service,
+            "desired_replicas": self.desired_replicas,
+            "ready_replicas": self.ready_replicas,
+            "degraded_replicas": self.degraded_replicas,
+            "converged": self.converged,
+            "outstanding": self.outstanding,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "timeouts": self.timeouts,
+            "throughput_per_s": self.throughput_per_s,
+            "latency": self.latency.to_dict() if self.latency else None,
+            "rings": [ring.to_dict() for ring in self.rings],
+            "per_ring_latency": {
+                name: self.per_ring_latency[name].to_dict()
+                for name in sorted(self.per_ring_latency)
+            },
+            "per_ring_throughput": {
+                name: self.per_ring_throughput[name]
+                for name in sorted(self.per_ring_throughput)
+            },
+            "capacity": self.capacity.to_dict(),
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -226,6 +292,7 @@ class ClusterManager:
             datacenter, policy=default_placement, bitstream_cache=bitstream_cache
         )
         self.handles: dict[str, ServiceHandle] = {}
+        self._endpoints: dict[str, ServiceEndpoint] = {}
         self.reconcile_reports: list[ReconcileReport] = []
         self._health_monitors: dict[int, HealthMonitor] = {}
         # Services whose batch tenants a latency placement evicted;
@@ -278,7 +345,14 @@ class ClusterManager:
         """
         existing = self.handles.get(spec.name)
         if existing is not None and existing.active:
-            if existing.spec.service is not spec.service:
+            if (
+                existing.spec.service is not spec.service
+                # Independently built but identical definitions (the
+                # declarative path rebuilds catalogs) are the same
+                # declaration; compare by canonical form, since role
+                # factories are distinct closures on every build.
+                and existing.spec.service.to_dict() != spec.service.to_dict()
+            ):
                 raise ValueError(
                     f"service {spec.name!r} is already applied with a "
                     "different ServiceDefinition; use "
@@ -836,6 +910,21 @@ class ClusterManager:
             report = yield self.health_monitor(pod_id).investigate(by_pod[pod_id])
             del report  # failures already routed to the mapping manager
 
+    # -- front door ------------------------------------------------------------
+
+    def endpoint(self, name: str) -> ServiceEndpoint:
+        """The stable virtual endpoint (VIP) for service ``name``.
+
+        Memoized per name, and independent of whether the service is
+        currently applied: the endpoint resolves the live handle at
+        each dispatch, so it survives re-placement, preemption,
+        upgrades, repair, and drain + re-apply.  Workloads should hold
+        this instead of the :class:`ServiceHandle`.
+        """
+        if name not in self._endpoints:
+            self._endpoints[name] = ServiceEndpoint(self, name)
+        return self._endpoints[name]
+
     # -- observation -----------------------------------------------------------
 
     def status_of(self, handle: ServiceHandle) -> ServiceStatus:
@@ -862,6 +951,7 @@ class ClusterManager:
                     member_slots=slots,
                 )
             )
+        balancer = handle.balancer
         return ServiceStatus(
             service=handle.name,
             desired_replicas=handle.spec.replicas,
@@ -869,10 +959,25 @@ class ClusterManager:
             degraded_replicas=sum(1 for ring in rings if 0.0 < ring.health < 1.0),
             capacity=self.scheduler.capacity_report(),
             rings=tuple(rings),
+            outstanding=balancer.outstanding,
+            dispatched=balancer.dispatched,
+            completed=balancer.completed,
+            timeouts=balancer.timeouts,
+            throughput_per_s=balancer.meter.per_second,
+            latency=(
+                balancer.latencies_ns.summary() if balancer.latencies_ns else None
+            ),
+            per_ring_latency=balancer.per_ring_stats(),
+            per_ring_throughput=balancer.per_ring_throughput(),
         )
 
     def status(self) -> dict[str, ServiceStatus]:
-        return {name: self.status_of(h) for name, h in self.handles.items()}
+        """Every managed service's status, in canonical (sorted) order.
+
+        Sorted so serialized cluster state is independent of the order
+        in which services happened to be applied.
+        """
+        return {name: self.status_of(self.handles[name]) for name in sorted(self.handles)}
 
     def __repr__(self) -> str:
         return (

@@ -90,6 +90,18 @@ class PodCapacity:
     tenant_regions: int  # region claims on this pod's shared rings
     cordoned_regions: int  # region-granular cordons (bad node runs)
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form (stable keys, plain ints)."""
+        return {
+            "pod_id": self.pod_id,
+            "total_rings": self.total_rings,
+            "free_rings": self.free_rings,
+            "occupied_rings": self.occupied_rings,
+            "cordoned_rings": self.cordoned_rings,
+            "tenant_regions": self.tenant_regions,
+            "cordoned_regions": self.cordoned_regions,
+        }
+
 
 @dataclasses.dataclass(frozen=True)
 class CapacityReport:
@@ -137,6 +149,34 @@ class CapacityReport:
     @property
     def utilization(self) -> float:
         return self.occupied_rings / self.total_rings if self.total_rings else 0.0
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form: sorted, string-keyed, derived figures
+        included.
+
+        ``per_pod`` is keyed by ``str(pod_id)`` in sorted order — JSON
+        objects cannot carry int keys, and a canonical order makes the
+        serialized report byte-stable across same-seed runs.
+        """
+        return {
+            "total_rings": self.total_rings,
+            "occupied_rings": self.occupied_rings,
+            "free_rings": self.free_rings,
+            "cordoned_rings": self.cordoned_rings,
+            "serviceable_rings": self.serviceable_rings,
+            "utilization": self.utilization,
+            "total_spare_nodes": self.total_spare_nodes,
+            "open_tickets": self.open_tickets,
+            "next_repair_due_ns": self.next_repair_due_ns,
+            "tenant_regions": self.tenant_regions,
+            "cordoned_regions": self.cordoned_regions,
+            "bitstream_hits": self.bitstream_hits,
+            "bitstream_misses": self.bitstream_misses,
+            "per_pod": {
+                str(pod_id): self.per_pod[pod_id].to_dict()
+                for pod_id in sorted(self.per_pod)
+            },
+        }
 
 
 class ClusterScheduler:

@@ -14,6 +14,7 @@ dispatch limits and health-watchdog cadence.  The
 
 from __future__ import annotations
 
+import collections.abc
 import dataclasses
 
 from repro.cluster.deployment import RequestAdapter
@@ -136,3 +137,84 @@ class ServiceSpec:
     def with_replicas(self, replicas: int) -> "ServiceSpec":
         """The same declaration at a different scale."""
         return dataclasses.replace(self, replicas=replicas)
+
+    # -- declarative (JSON) form -----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form of this declaration.
+
+        The two non-data fields serialize by *name*: ``service`` is the
+        :class:`ServiceDefinition`'s name (definitions carry role
+        constructors — code — and are resolved from a catalog on the
+        way back in) and ``adapter`` is the adapter's class name (or
+        ``None`` for the default).  Everything else is the plain field
+        value, so ``from_dict(to_dict(s), ...) == s`` when the same
+        definition and adapter objects are supplied.
+        """
+        return {
+            "service": self.service.name,
+            "replicas": self.replicas,
+            "rings_per_replica": self.rings_per_replica,
+            "placement": self.placement,
+            "balancing": self.balancing,
+            "adapter": (
+                type(self.adapter).__name__ if self.adapter is not None else None
+            ),
+            "slots_per_server": self.slots_per_server,
+            "request_timeout_ns": self.request_timeout_ns,
+            "health_period_ns": self.health_period_ns,
+            "regions": self.regions,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        document: dict,
+        services: "collections.abc.Mapping[str, ServiceDefinition]",
+        adapters: "collections.abc.Mapping[str, RequestAdapter] | None" = None,
+    ) -> "ServiceSpec":
+        """Build a spec from its :meth:`to_dict` form.
+
+        ``services`` is the catalog resolving the document's ``service``
+        name to a live :class:`ServiceDefinition`; ``adapters`` resolves
+        a non-null ``adapter`` name the same way.  Field validation is
+        the constructor's own ``__post_init__`` — an invalid document
+        raises exactly the error direct construction would.
+        """
+        if not isinstance(document, dict):
+            raise ValueError(
+                f"ServiceSpec document must be a mapping, got "
+                f"{type(document).__name__}"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(document) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ServiceSpec fields: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        if "service" not in document:
+            raise ValueError("a service declaration needs a 'service' name")
+        service_name = document["service"]
+        if service_name not in services:
+            raise ValueError(
+                f"unknown service {service_name!r}: not in the catalog "
+                f"(have: {sorted(services)})"
+            )
+        adapter = None
+        adapter_name = document.get("adapter")
+        if adapter_name is not None:
+            if adapters is None or adapter_name not in adapters:
+                raise ValueError(
+                    f"unknown adapter {adapter_name!r} for service "
+                    f"{service_name!r} (have: "
+                    f"{sorted(adapters) if adapters else []})"
+                )
+            adapter = adapters[adapter_name]
+        fields = {
+            key: value
+            for key, value in document.items()
+            if key not in ("service", "adapter")
+        }
+        return cls(service=services[service_name], adapter=adapter, **fields)

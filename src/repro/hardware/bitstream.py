@@ -15,6 +15,29 @@ import dataclasses
 from repro.hardware.constants import FpgaDevice, SHELL_AREA_FRACTION
 
 
+def _checked_fields(cls, document: dict) -> dict:
+    """Validate a ``to_dict`` document against ``cls``'s field names.
+
+    Shared by every ``from_dict`` in this module: unknown keys raise
+    (a typo in a hand-written cluster file must not silently vanish),
+    known keys pass through to the constructor so the dataclass's own
+    validation applies identically to deserialized instances.
+    """
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"{cls.__name__} document must be a mapping, got "
+            f"{type(document).__name__}"
+        )
+    names = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(document) - names
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} fields: {sorted(unknown)} "
+            f"(known: {sorted(names)})"
+        )
+    return dict(document)
+
+
 @dataclasses.dataclass(frozen=True)
 class ResourceBudget:
     """FPGA resources used by a design (role or shell)."""
@@ -42,6 +65,18 @@ class ResourceBudget:
     @property
     def non_negative(self) -> bool:
         return self.alms >= 0 and self.m20k_blocks >= 0 and self.dsp_blocks >= 0
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (plain ints, stable keys)."""
+        return {
+            "alms": self.alms,
+            "m20k_blocks": self.m20k_blocks,
+            "dsp_blocks": self.dsp_blocks,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ResourceBudget":
+        return cls(**_checked_fields(cls, document))
 
     def scaled(self, factor: float) -> "ResourceBudget":
         return ResourceBudget(
@@ -105,6 +140,13 @@ class ShellVersion:
     def compatible_with(self, other: "ShellVersion") -> bool:
         return self.major == other.major
 
+    def to_dict(self) -> dict:
+        return {"major": self.major, "minor": self.minor}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ShellVersion":
+        return cls(**_checked_fields(cls, document))
+
 
 @dataclasses.dataclass(frozen=True)
 class Bitstream:
@@ -127,6 +169,25 @@ class Bitstream:
 
     def fits(self, device: FpgaDevice) -> bool:
         return self.total_budget(device).fits(device)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form — losslessly rebuildable by :meth:`from_dict`."""
+        return {
+            "role_name": self.role_name,
+            "role_budget": self.role_budget.to_dict(),
+            "clock_mhz": self.clock_mhz,
+            "shell_version": self.shell_version.to_dict(),
+            "size_bytes": self.size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Bitstream":
+        fields = _checked_fields(cls, document)
+        if "role_budget" in fields:
+            fields["role_budget"] = ResourceBudget.from_dict(fields["role_budget"])
+        if "shell_version" in fields:
+            fields["shell_version"] = ShellVersion.from_dict(fields["shell_version"])
+        return cls(**fields)
 
     def __str__(self) -> str:
         return f"bitstream<{self.role_name}@{self.clock_mhz:.0f}MHz>"

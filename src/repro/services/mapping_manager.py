@@ -43,6 +43,33 @@ class RoleSpec:
     bitstream: Bitstream
     factory: RoleFactory
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form.  The role constructor is code, not
+        data: :meth:`from_dict` rebuilds it from a caller-supplied
+        factory, so ``from_dict(to_dict(r), r.factory) == r``."""
+        return {"name": self.name, "bitstream": self.bitstream.to_dict()}
+
+    @classmethod
+    def from_dict(cls, document: dict, factory: RoleFactory) -> "RoleSpec":
+        if not isinstance(document, dict):
+            raise ValueError(
+                f"RoleSpec document must be a mapping, got "
+                f"{type(document).__name__}"
+            )
+        unknown = set(document) - {"name", "bitstream"}
+        if unknown:
+            raise ValueError(
+                f"unknown RoleSpec fields: {sorted(unknown)} "
+                "(known: ['bitstream', 'name'])"
+            )
+        if "name" not in document or "bitstream" not in document:
+            raise ValueError("a RoleSpec document needs 'name' and 'bitstream'")
+        return cls(
+            name=document["name"],
+            bitstream=Bitstream.from_dict(document["bitstream"]),
+            factory=factory,
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class ServiceDefinition:
@@ -56,6 +83,62 @@ class ServiceDefinition:
         names = [spec.name for spec in self.roles] + [self.spare.name]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate role names in service {self.name!r}")
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form: name, ordered role images, spare image.
+
+        Everything except the role constructors (code, not data) round
+        trips; the dict doubles as the definition's *fingerprint* — two
+        builds of the same service compare equal through it even though
+        their factory closures never do.
+        """
+        return {
+            "name": self.name,
+            "roles": [spec.to_dict() for spec in self.roles],
+            "spare": self.spare.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls,
+        document: dict,
+        factories: collections.abc.Mapping[str, RoleFactory],
+    ) -> "ServiceDefinition":
+        """Rebuild from :meth:`to_dict` output plus the role constructors.
+
+        ``factories`` maps role name -> factory.  Construction runs the
+        same ``__post_init__`` validation as building the definition
+        directly, so invalid documents raise identical errors.
+        """
+        if not isinstance(document, dict):
+            raise ValueError(
+                f"ServiceDefinition document must be a mapping, got "
+                f"{type(document).__name__}"
+            )
+        unknown = set(document) - {"name", "roles", "spare"}
+        if unknown:
+            raise ValueError(
+                f"unknown ServiceDefinition fields: {sorted(unknown)} "
+                "(known: ['name', 'roles', 'spare'])"
+            )
+        for key in ("name", "roles", "spare"):
+            if key not in document:
+                raise ValueError(f"a ServiceDefinition document needs {key!r}")
+
+        def resolve(role_doc: dict) -> RoleSpec:
+            role_name = role_doc.get("name")
+            if role_name not in factories:
+                raise ValueError(
+                    f"no factory for role {role_name!r} of service "
+                    f"{document['name']!r} (have: {sorted(factories)})"
+                )
+            return RoleSpec.from_dict(role_doc, factories[role_name])
+
+        return cls(
+            name=document["name"],
+            roles=tuple(resolve(role_doc) for role_doc in document["roles"]),
+            spare=resolve(document["spare"]),
+        )
 
 
 class RingAssignment:

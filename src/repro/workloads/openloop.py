@@ -6,9 +6,14 @@ open-loop: arrivals occur at the offered rate whether or not earlier
 requests have finished.  This module provides the arrival processes —
 memoryless Poisson, on/off bursts, and a sinusoidal diurnal curve — and
 an :class:`OpenLoopInjector` that feeds any sink exposing the
-``submit(request, timeout_ns=...)`` generator protocol (a
-:class:`~repro.cluster.load_balancer.LoadBalancer` or a single
-:class:`~repro.cluster.deployment.Deployment`).
+``submit(request, timeout_ns=...)`` generator protocol.  The preferred
+sink is a :class:`~repro.cluster.endpoint.ServiceEndpoint` from
+``manager.endpoint(name)`` — a stable virtual front door that resolves
+the live service at each dispatch, so the workload survives
+re-placement, upgrades, and even drain + re-apply without rewiring —
+but a :class:`~repro.cluster.manager.ServiceHandle`, a raw
+:class:`~repro.cluster.load_balancer.LoadBalancer`, or a single
+:class:`~repro.cluster.deployment.Deployment` still work.
 
 When a ``max_queue_depth`` is set, arrivals that would push the sink's
 in-flight count past the limit are rejected at admission instead of
@@ -154,6 +159,17 @@ class OpenLoopStats:
     def completion_fraction(self) -> float:
         """Completed share of offered arrivals (0.0 when none offered)."""
         return self.completed / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form of the admission counters (for the
+        exported metrics series; samples stay in-process)."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "timeouts": self.timeouts,
+        }
 
     def stats(self) -> LatencyStats:
         """Latency summary — empty-safe: a window during which every

@@ -123,12 +123,19 @@ def test_reapply_is_declarative():
 
 
 def test_reapply_with_different_definition_rejected():
-    # Same service name, different ServiceDefinition: old rings would
-    # silently keep serving the old definition; refuse instead.
+    # Same service name, *different* ServiceDefinition (a new role
+    # image): old rings would silently keep serving the old definition;
+    # refuse and point at upgrade().  A fresh build of the *identical*
+    # definition (equal serialized fingerprint, distinct factory
+    # closures) is the same declaration — the cluster-file path rebuilds
+    # catalogs every load — and must be accepted.
     _eng, _dc, manager = small_cluster()
     manager.apply(echo_spec(replicas=1))
+    manager.apply(echo_spec(replicas=1))  # fingerprint-equal rebuild: ok
     with pytest.raises(ValueError):
-        manager.apply(echo_spec(replicas=1))  # fresh definition, same name
+        manager.apply(
+            echo_spec(replicas=1, service=echo_service(role_name="echo-v2"))
+        )
 
 
 def test_scale_after_drain_rejected():

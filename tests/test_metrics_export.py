@@ -1,0 +1,221 @@
+"""Tests for exported observability: canonical status documents, the
+MetricsRegistry sampler, and byte-identical same-seed series files.
+
+Every ``to_dict`` under test is *canonical* — JSON-serializable as-is,
+string-keyed, sorted — because the export's determinism guarantee
+(same seed, byte-identical file) rests on it.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    ClusterFailureInjector,
+    ClusterManager,
+    MetricsRegistry,
+    RepairPolicy,
+    ServiceSpec,
+    echo_service,
+    read_series,
+)
+from repro.cluster.metrics import dumps_canonical
+from repro.fabric import Datacenter, TorusTopology
+from repro.sim import Engine
+from repro.sim.units import MS
+from repro.workloads import OpenLoopInjector, PoissonArrivals
+
+
+def small_cluster(seed=3, pods=2):
+    eng = Engine(seed=seed)
+    dc = Datacenter(eng, num_pods=pods, topology=TorusTopology(width=2, height=3))
+    return eng, dc, ClusterManager(dc, repair_policy=RepairPolicy(mean_ns=5e8))
+
+
+def echo_spec(**overrides) -> ServiceSpec:
+    defaults = dict(service=echo_service(), replicas=2, health_period_ns=5e9)
+    defaults.update(overrides)
+    return ServiceSpec(**defaults)
+
+
+def drive(eng, sink, arrivals=80, seed_tag="m"):
+    pool = [object() for _ in range(8)]
+    injector = OpenLoopInjector(
+        eng, sink, PoissonArrivals(100_000.0), pool, seed_tag=seed_tag
+    )
+    eng.run_until(injector.run(arrivals))
+    return injector
+
+
+# --- canonical documents -------------------------------------------------------------
+
+
+def test_capacity_report_document_is_canonical():
+    _eng, _dc, manager = small_cluster()
+    manager.apply(echo_spec())
+    document = manager.scheduler.capacity_report().to_dict()
+    json.dumps(document)  # plain JSON types throughout
+    assert document["total_rings"] == 4
+    assert document["occupied_rings"] == 2
+    assert document["serviceable_rings"] == document["total_rings"]
+    # per_pod is string-keyed (JSON objects cannot carry int keys),
+    # sorted, and sums to the datacenter totals.
+    assert list(document["per_pod"]) == ["0", "1"]
+    assert (
+        sum(pod["total_rings"] for pod in document["per_pod"].values())
+        == document["total_rings"]
+    )
+
+
+def test_service_status_document_is_canonical_and_wired():
+    eng, _dc, manager = small_cluster()
+    handle = manager.apply(echo_spec())
+    drive(eng, manager.endpoint("echo-service"))
+    status = manager.status_of(handle)
+    document = status.to_dict()
+    json.dumps(document)
+    assert document["service"] == "echo-service"
+    assert document["ready_replicas"] == 2
+    assert document["converged"] is True
+    # Front-end aggregates come from the balancer...
+    assert document["dispatched"] == document["completed"] == 80
+    assert document["latency"]["count"] == 80
+    assert document["latency"]["p99"] >= document["latency"]["p50"] > 0
+    # ...and the per-ring breakdowns are the balancer's own, exported
+    # in sorted ring order with plain values.
+    assert len(document["per_ring_latency"]) == 2
+    assert list(document["per_ring_latency"]) == sorted(document["per_ring_latency"])
+    assert list(document["per_ring_throughput"]) == sorted(
+        document["per_ring_throughput"]
+    )
+    assert (
+        sum(ring["completed"] for ring in document["rings"])
+        == document["completed"]
+    )
+    for ring in document["rings"]:
+        assert ring["slot"].startswith("pod")
+
+
+def test_manager_status_is_sorted_by_service():
+    _eng, _dc, manager = small_cluster()
+    manager.apply(echo_spec(service=echo_service(name="zeta"), replicas=1))
+    manager.apply(echo_spec(service=echo_service(name="alpha"), replicas=1))
+    assert list(manager.status()) == ["alpha", "zeta"]
+
+
+# --- the registry --------------------------------------------------------------------
+
+
+def test_registry_samples_on_a_period(tmp_path):
+    eng, _dc, manager = small_cluster()
+    manager.apply(echo_spec())
+    path = tmp_path / "series.jsonl"
+    registry = MetricsRegistry(manager, path=path)
+    registry.start(10 * MS)
+    eng.run(until=eng.now + 55 * MS)
+    registry.stop()
+    assert len(registry.snapshots) == 5
+    series = read_series(path)
+    assert [snap["t_ns"] for snap in series] == [
+        snap["t_ns"] for snap in registry.snapshots
+    ]
+    times = [snap["t_ns"] for snap in series]
+    assert all(b - a == 10 * MS for a, b in zip(times, times[1:]))
+    first = series[0]
+    assert set(first) == {"t_ns", "services", "capacity"}
+    assert "echo-service" in first["services"]
+    # The datacenter-wide capacity block appears once per snapshot,
+    # not once per service.
+    assert "capacity" not in first["services"]["echo-service"]
+
+
+def test_registry_validates_and_guards_double_start():
+    _eng, _dc, manager = small_cluster()
+    registry = MetricsRegistry(manager)
+    with pytest.raises(ValueError, match="period must be positive"):
+        registry.start(0)
+    registry.start(10 * MS)
+    with pytest.raises(RuntimeError, match="already running"):
+        registry.start(10 * MS)
+    registry.stop()
+    registry.start(10 * MS)  # restart after stop is fine
+    registry.stop()
+
+
+def test_attached_workload_exports_admission_counters(tmp_path):
+    eng, _dc, manager = small_cluster()
+    manager.apply(echo_spec())
+    registry = MetricsRegistry(manager, path=tmp_path / "series.jsonl")
+    endpoint = manager.endpoint("echo-service")
+    registry.start(10 * MS)
+    injector = drive(eng, endpoint)
+    registry.attach_workload("echo-service", injector)
+    snapshot = registry.sample()
+    exported = snapshot["services"]["echo-service"]["workload"]
+    assert exported == injector.stats.to_dict()
+    assert exported["offered"] == 80
+    assert exported["completed"] == 80
+    registry.stop()
+
+
+def test_sample_on_demand_composes_with_the_sampler(tmp_path):
+    eng, _dc, manager = small_cluster()
+    manager.apply(echo_spec())
+    path = tmp_path / "series.jsonl"
+    registry = MetricsRegistry(manager, path=path)
+    registry.start(10 * MS)
+    eng.run(until=eng.now + 25 * MS)
+    registry.sample()  # explicit final sample, off-period
+    registry.stop()
+    series = read_series(path)
+    assert len(series) == 3
+    assert series[-1]["t_ns"] == eng.now
+
+
+# --- determinism ---------------------------------------------------------------------
+
+
+def run_failure_week(path):
+    eng, dc, manager = small_cluster(seed=2014)
+    handle = manager.apply(echo_spec(health_period_ns=50 * MS))
+    injector = ClusterFailureInjector(dc)
+    registry = MetricsRegistry(manager, path=path)
+    endpoint = manager.endpoint("echo-service")
+    pool = [object() for _ in range(8)]
+    traffic = OpenLoopInjector(
+        eng, endpoint, PoissonArrivals(5_000.0), pool, max_queue_depth=64
+    )
+    registry.attach_workload("echo-service", traffic)
+    registry.start(5 * MS)
+    done = traffic.run(400)
+    killed = False
+    while not done.triggered:
+        eng.run(until=eng.now + 5 * MS)
+        if not killed and traffic.stats.completed > 100 and handle.deployments:
+            injector.kill_ring(handle.deployments[0])
+            killed = True
+    registry.sample()
+    registry.stop()
+    return read_series(path)
+
+
+def test_same_seed_series_is_byte_identical(tmp_path):
+    first = tmp_path / "a.jsonl"
+    second = tmp_path / "b.jsonl"
+    run_failure_week(first)
+    run_failure_week(second)
+    assert first.read_bytes() == second.read_bytes()
+    assert first.read_bytes()  # non-trivial series
+    series = read_series(first)
+    # The file is line-for-line canonical JSON.
+    lines = first.read_text().splitlines()
+    assert lines == [dumps_canonical(snap) for snap in series]
+    # The series actually recorded the failure-and-repair arc: ready
+    # replicas dip below the declared count, tickets open, and the
+    # workload counters reach the exported file.
+    ready = [snap["services"]["echo-service"]["ready_replicas"] for snap in series]
+    assert min(ready) < 2
+    assert any(snap["capacity"]["open_tickets"] > 0 for snap in series)
+    final = series[-1]["services"]["echo-service"]["workload"]
+    assert final["offered"] == 400
+    assert final["offered"] == final["admitted"] + final["rejected"]

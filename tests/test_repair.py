@@ -345,9 +345,12 @@ def test_upgrade_validates_input():
     handle = manager.apply(echo_spec(replicas=1))
     with pytest.raises(ValueError):
         handle.upgrade(echo_spec(service=echo_service(name="other"), replicas=1))
-    # apply() still refuses a changed definition, pointing at upgrade().
+    # apply() still refuses a changed definition (one whose serialized
+    # fingerprint differs — a new role image), pointing at upgrade().
     with pytest.raises(ValueError, match="upgrade"):
-        manager.apply(echo_spec(service=new_echo(), replicas=1))
+        manager.apply(
+            echo_spec(service=echo_service(role_name="echo-v2"), replicas=1)
+        )
     manager.drain(handle)
     with pytest.raises(RuntimeError):
         handle.upgrade(echo_spec(replicas=1))
