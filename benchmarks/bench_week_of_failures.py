@@ -36,8 +36,10 @@ change with the day length, only the event count does).  Set
 configuration.
 """
 
+import json
 import os
 import pathlib
+import time
 
 from repro.analysis import format_table
 from repro.cluster import (
@@ -50,7 +52,7 @@ from repro.cluster import (
     read_series,
 )
 from repro.fabric import Datacenter, TorusTopology
-from repro.sim import Engine
+from repro.sim import Engine, ScheduledTransients
 from repro.sim.units import MS, SEC
 from repro.workloads import OpenLoopInjector, PoissonArrivals
 
@@ -72,6 +74,10 @@ SAMPLE_NS = 50 * MS
 METRICS_PATH = pathlib.Path(__file__).parent / "results" / (
     "week_of_failures_metrics.jsonl"
 )
+# The fluid run exports its own series (the discrete series above is a
+# committed artifact) and the mode comparison lands next to it.
+FLUID_METRICS_PATH = METRICS_PATH.with_name("week_of_failures_metrics_fluid.jsonl")
+FLUID_RESULT_PATH = METRICS_PATH.with_name("week_of_failures_fluid.json")
 
 
 def capacity_fraction_of(capacity: dict) -> float:
@@ -81,8 +87,8 @@ def capacity_fraction_of(capacity: dict) -> float:
     ) / capacity["total_rings"]
 
 
-def run_week() -> dict:
-    engine = Engine(seed=2014)
+def run_week(fluid: bool = False) -> dict:
+    engine = Engine(seed=2014, fluid=fluid)
     datacenter = Datacenter(
         engine, num_pods=2, topology=TorusTopology(width=3, height=3)
     )
@@ -103,6 +109,18 @@ def run_week() -> dict:
     start_ns = engine.now
     horizon_ns = DAYS * DAY_NS
     arrivals = int(RATE_PER_S * horizon_ns / SEC)
+    if engine.fluid is not None:
+        # The driver below mutates the cluster *between* run(until=...)
+        # chunks — kills at day thresholds, the midweek upgrade.  The
+        # engine's run deadline already stops every fluid window at the
+        # chunk edge; registering the planned instants as well gives the
+        # coordinator the guard lead, so the simulation is back to
+        # exact discrete mode before each mutation, not just paused.
+        planned = ScheduledTransients(
+            [start_ns + (day + FAIL_AT_FRACTION) * DAY_NS for day in range(DAYS - 2)]
+            + [start_ns + (UPGRADE_DAY + 0.5) * DAY_NS]
+        )
+        engine.fluid.register(planned)
     # Traffic holds the stable VIP endpoint, never the handle: the
     # front door survives each day's re-placement and the midweek
     # rolling upgrade with no rewiring in the workload.
@@ -117,10 +135,12 @@ def run_week() -> dict:
     # Observability is *exported*: the registry samples every SAMPLE_NS
     # of simulated time into the committed JSON-lines series that the
     # analysis below (and any dashboard) reads back.
-    metrics = MetricsRegistry(manager, path=METRICS_PATH)
+    metrics_path = FLUID_METRICS_PATH if fluid else METRICS_PATH
+    metrics = MetricsRegistry(manager, path=metrics_path)
     metrics.attach_workload(SERVICE, traffic)
     metrics.start(SAMPLE_NS)
     done = traffic.run(arrivals)
+    wall_start = time.perf_counter()  # simlint: allow-wall-clock -- harness timing
 
     initial_capacity = capacity_fraction_of(
         manager.scheduler.capacity_report().to_dict()
@@ -168,6 +188,7 @@ def run_week() -> dict:
                     1 for a in report.actions if a.kind == "upgrade_place"
                 ),
             }
+    wall_s = time.perf_counter() - wall_start  # simlint: allow-wall-clock -- harness timing
     stats = done.value
     # One last explicit snapshot at run end, so the series' final line
     # reflects the converged week-end state (the periodic sampler's
@@ -177,7 +198,7 @@ def run_week() -> dict:
 
     # Everything below reads the exported series from disk — the same
     # view an external dashboard gets, not in-process objects.
-    series = read_series(METRICS_PATH)
+    series = read_series(metrics_path)
     samples = [
         (
             snap["t_ns"],
@@ -218,11 +239,82 @@ def run_week() -> dict:
         "manager": manager,
         "handle": handle,
         "new_service": new_service,
+        "wall_s": wall_s,
+        "events_dispatched": engine.events_dispatched,
+        "fluid_windows": engine.fluid.windows if engine.fluid else 0,
+        "fluid_covered": engine.fluid.covered_arrivals if engine.fluid else 0,
     }
 
 
 def run_experiment():
     return run_week()
+
+
+def mode_figures(r: dict) -> dict:
+    """The headline week figures for one mode, JSON-serializable."""
+    stats = r["stats"]
+    final = r["series"][-1]["services"][SERVICE]
+    return {
+        "wall_s": round(r["wall_s"], 3),
+        "events_dispatched": r["events_dispatched"],
+        "fluid_windows": r["fluid_windows"],
+        "fluid_covered_arrivals": r["fluid_covered"],
+        "offered": stats.offered,
+        "admitted": stats.admitted,
+        "completed": stats.completed,
+        "rejected": stats.rejected,
+        "failures": r["failures"],
+        "tickets_repaired": r["manager"].repairs.repaired_count,
+        "capacity_min": round(r["min_capacity"], 4),
+        "capacity_final": round(r["final_capacity"], 4),
+        "ready_replicas": r["ready"],
+        "p99_us": (
+            round(final["latency"]["p99"] / 1e3, 1) if final["latency"] else None
+        ),
+    }
+
+
+def compare_modes(discrete: dict, fluid: dict) -> dict:
+    """Wall-clock + figure deltas of the fluid week vs the discrete week.
+
+    The fluid endpoint path is flow/sampler-based (admission assumed in
+    steady state, sojourns drawn from the balancer's empirical
+    reservoir), so figures are *close*, not bit-equal — the deltas
+    quantify the approximation alongside the speedup.
+    """
+    d, f = mode_figures(discrete), mode_figures(fluid)
+
+    def rel(key):
+        base = d[key]
+        if not base:
+            return None
+        return round((f[key] - base) / base, 4)
+
+    return {
+        "scenario": {
+            "days": DAYS,
+            "rate_per_s": RATE_PER_S,
+            "smoke": SMOKE,
+            "seed": 2014,
+        },
+        "discrete": d,
+        "fluid": f,
+        "deltas": {
+            "speedup_wall": round(d["wall_s"] / f["wall_s"], 2)
+            if f["wall_s"]
+            else None,
+            "events_ratio": round(
+                d["events_dispatched"] / f["events_dispatched"], 2
+            )
+            if f["events_dispatched"]
+            else None,
+            "offered_rel": rel("offered"),
+            "completed_rel": rel("completed"),
+            "capacity_min_rel": rel("capacity_min"),
+            "capacity_final_rel": rel("capacity_final"),
+            "p99_rel": rel("p99_us") if d["p99_us"] and f["p99_us"] else None,
+        },
+    }
 
 
 def test_week_of_failures_heals_without_operator(benchmark, record):
@@ -301,6 +393,29 @@ def test_week_of_failures_heals_without_operator(benchmark, record):
     assert final["workload"] == stats.to_dict()
 
 
+def test_week_of_failures_fluid_smoke(record):
+    """The same week with fluid fast-forward on: the repair loop must
+    still close by itself and the headline figures must stay close to
+    the discrete run's (the endpoint path is sampler-based, so close,
+    not bit-equal)."""
+    r = run_week(fluid=True)
+    stats = r["stats"]
+    record(
+        "week_of_failures_fluid",
+        "\n".join(f"{k} = {v}" for k, v in sorted(mode_figures(r).items())),
+    )
+    # The repair loop still closes with the analytic core engaged.
+    assert r["manager"].repairs.repaired_count == len(r["tickets"])
+    assert r["manager"].scheduler.cordoned_slots == []
+    assert r["final_capacity"] >= 0.95 * r["initial_capacity"]
+    assert r["ready"] == REPLICAS
+    assert stats.offered == stats.admitted + stats.rejected
+    assert stats.completed > 0.8 * stats.offered
+    # Fluid actually engaged: analytic windows covered real traffic.
+    assert r["fluid_windows"] > 0
+    assert r["fluid_covered"] > 0
+
+
 if __name__ == "__main__":
     import argparse
 
@@ -308,12 +423,38 @@ if __name__ == "__main__":
     parser.add_argument(
         "--smoke", action="store_true", help="reduced configuration (CI)"
     )
+    parser.add_argument(
+        "--fluid",
+        action="store_true",
+        help="run the week in both modes and write the wall-clock + "
+        "figure-delta comparison to results/week_of_failures_fluid.json",
+    )
     args = parser.parse_args()
     if args.smoke and not SMOKE:
         SMOKE = True
         DAYS = 3
         RATE_PER_S = 1_500.0
         UPGRADE_DAY = 1
+    if args.fluid:
+        discrete = run_week(fluid=False)
+        fluid = run_week(fluid=True)
+        report = compare_modes(discrete, fluid)
+        FLUID_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        deltas = report["deltas"]
+        print(
+            f"discrete wall={report['discrete']['wall_s']}s "
+            f"fluid wall={report['fluid']['wall_s']}s "
+            f"speedup={deltas['speedup_wall']}x "
+            f"events_ratio={deltas['events_ratio']}x"
+        )
+        print(
+            f"figure deltas: offered={deltas['offered_rel']} "
+            f"completed={deltas['completed_rel']} "
+            f"capacity_final={deltas['capacity_final_rel']} "
+            f"p99={deltas['p99_rel']}"
+        )
+        print(f"wrote {FLUID_RESULT_PATH}")
+        raise SystemExit(0)
     r = run_week()
     stats = r["stats"]
     print(

@@ -25,6 +25,12 @@ class ThroughputMeter:
         if self._warm_start is not None:
             self.warm_count += 1
 
+    def record_bulk(self, n: int) -> None:
+        """Credit ``n`` completions at once (fluid fast-forward windows)."""
+        self.count += n
+        if self._warm_start is not None:
+            self.warm_count += n
+
     def start_measurement(self) -> None:
         """Mark the end of warm-up; rates report from this instant."""
         self._warm_start = self.engine.now

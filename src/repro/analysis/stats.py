@@ -156,6 +156,63 @@ class ReservoirSample:
         for value in values:
             self.append(value)
 
+    def merge_analytic(
+        self,
+        n: int,
+        mean_value: float,
+        draw: collections.abc.Callable[[random.Random], float] | None = None,
+    ) -> None:
+        """Bulk-merge ``n`` analytically credited observations.
+
+        Fluid fast-forward credits whole windows of completions in one
+        step; appending them one by one would defeat the point.  Count
+        and total update exactly.  Below capacity each merged value is
+        materialized (``draw(rng)`` per value, or ``mean_value``
+        without a draw), so small runs stay exact.  At capacity the
+        retained sample receives the *expected* number of Algorithm-R
+        slot replacements for ``n`` sequential appends — ``capacity *
+        ln(count_after / count_before)``, probabilistically rounded on
+        the reservoir's private stream — so quantiles track the merged
+        distribution while the merge stays O(capacity), not O(n).
+        ``max`` reflects only materialized values (plus ``mean_value``
+        itself without a draw): an analytic merge cannot know the
+        extreme of draws it never made.
+        """
+        if n < 0:
+            raise ValueError(f"merge size must be >= 0, got {n}")
+        if n == 0:
+            return
+        sample = self._sample
+        capacity = self.capacity
+        rng = self._rng
+        before = self.count
+        self.count = before + n
+        self.total += mean_value * n
+        filled = 0
+        while len(sample) < capacity and filled < n:
+            value = draw(rng) if draw is not None else mean_value
+            if value > self._max:
+                self._max = value
+            sample.append(value)
+            filled += 1
+        leftover = n - filled
+        if leftover > 0:
+            # Append number j replaces a random slot with probability
+            # capacity/j; the expectation over the merged range is the
+            # harmonic sum, tightly approximated by its integral.
+            start = before + filled
+            expected = capacity * math.log((start + leftover) / start)
+            replacements = int(expected)
+            if rng.random() < expected - replacements:
+                replacements += 1
+            for _ in range(replacements):
+                value = draw(rng) if draw is not None else mean_value
+                if value > self._max:
+                    self._max = value
+                sample[rng.randrange(capacity)] = value
+        if draw is None and mean_value > self._max:
+            self._max = mean_value
+
     def clear(self) -> None:
         """Reset to the just-constructed state (RNG included)."""
         self.count = 0

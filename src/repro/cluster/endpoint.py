@@ -84,6 +84,45 @@ class ServiceEndpoint:
             )
         return (yield from handle.submit(request, timeout_ns=timeout_ns))
 
+    # -- fluid fast-forward (optional sink extension) --------------------------
+
+    # An endpoint's sink has no deterministic per-request service time
+    # (requests traverse leases, fabric hops, and health-weighted
+    # rings), so its profile is the *sampler* form: fluid windows draw
+    # sojourns from the balancer's own latency reservoir — the
+    # empirical steady-state distribution the discrete path measured.
+    # Cold start (too few samples) or any degraded ring returns None,
+    # which keeps the injector discrete until the service has both
+    # warmed up and healed; the profile is re-queried at every window.
+
+    FLUID_MIN_SAMPLES = 64
+
+    def fluid_profile(self):
+        handle = self.handle
+        if handle is None:
+            return None
+        balancer = handle.balancer
+        reservoir = balancer.latencies_ns
+        if reservoir.sample_size < self.FLUID_MIN_SAMPLES:
+            return None
+        if any(d.health_weight() <= 0.0 for d in balancer.deployments):
+            return None
+        from repro.sim.fluid import FluidProfile
+
+        def sampler(rng, _reservoir=reservoir):
+            return _reservoir[rng.randrange(_reservoir.sample_size)]
+
+        return FluidProfile(servers=len(balancer.deployments), sampler=sampler)
+
+    def note_fluid(self, window) -> None:
+        """Reconcile an analytic window's counters into the live
+        balancer (no-op while detached — the window was credited by a
+        profile taken when a handle was attached, and a detach since
+        then would have ended the window at its transient)."""
+        handle = self.handle
+        if handle is not None:
+            handle.balancer.record_fluid(window)
+
     # -- observation -----------------------------------------------------------
 
     def status(self) -> "ServiceStatus":

@@ -122,6 +122,38 @@ class LoadBalancer:
         self.meter.record()
         return response
 
+    # -- fluid reconciliation --------------------------------------------------
+
+    def record_fluid(self, window) -> None:
+        """Credit one analytic window's traffic into the counters.
+
+        Fluid fast-forward (:mod:`repro.sim.fluid`) resolves whole
+        stretches of requests without dispatching them; this folds the
+        window's totals into the balancer — and, spread evenly, into
+        each ring's meter and reservoir so per-ring QPS/skew figures
+        stay continuous across fluid intervals.  A steady-state window
+        by definition saw every healthy ring take its fair share.
+        """
+        self.dispatched += window.admitted
+        self.completed += window.completed
+        self.timeouts += window.timeouts
+        completed = window.completed
+        if not completed:
+            return
+        mean = window.mean_latency_ns
+        self.latencies_ns.merge_analytic(completed, mean)
+        self.meter.record_bulk(completed)
+        healthy = [d for d in self.deployments if d.health_weight() > 0.0]
+        if not healthy:
+            return
+        share, extra = divmod(completed, len(healthy))
+        for index, deployment in enumerate(healthy):
+            portion = share + (1 if index < extra else 0)
+            if portion:
+                deployment.latencies_ns.merge_analytic(portion, mean)
+                deployment.meter.record_bulk(portion)
+                deployment.completed += portion
+
     # -- aggregate reporting -------------------------------------------------------
 
     def start_measurement(self) -> None:

@@ -203,6 +203,7 @@ class ServiceHandle:
         self.retired: list[Deployment] = []  # released replicas (post-mortem)
         self.active = True
         self._watchdog = None
+        self._watchdog_ticks = None  # fluid window bound while sweeping
         self._last_report: ReconcileReport | None = None
         self._upgrading = False  # rolling upgrade in flight; see upgrade()
 
@@ -268,6 +269,11 @@ class ServiceHandle:
         if self._watchdog is not None and self._watchdog.is_alive:
             self._watchdog.kill()
         self._watchdog = None
+        if self._watchdog_ticks is not None:
+            fluid = self.manager.engine.fluid
+            if fluid is not None:
+                fluid.unregister(self._watchdog_ticks)
+        self._watchdog_ticks = None
 
     def __repr__(self) -> str:
         return (
@@ -316,6 +322,13 @@ class ClusterManager:
             self.repairs.on_repaired.append(self._on_repaired)
 
     # -- wiring ----------------------------------------------------------------
+
+    def _note_transient(self, label: str, actions=None) -> None:
+        """Tell the fluid coordinator cluster state changed (no-op on a
+        discrete-only engine, or when a convergence pass had nothing to
+        do — a healthy watchdog tick must not hold fluid mode off)."""
+        if self.engine.fluid is not None and (actions is None or actions):
+            self.engine.fluid.note_transient(label)
 
     def health_monitor(self, pod_id: int) -> HealthMonitor:
         """The pod's Health Monitor, attached to its Mapping Manager.
@@ -385,6 +398,7 @@ class ClusterManager:
         )
         handle = ServiceHandle(self, spec, balancer)
         self.handles[spec.name] = handle
+        self._note_transient(f"apply:{spec.name}", actions)
         report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
         self.reconcile_reports.append(report)
         handle._last_report = report
@@ -447,6 +461,7 @@ class ClusterManager:
             actions.extend(self._drain_preempted())
         finally:
             self._converging = False
+        self._note_transient("reconcile", actions)
         report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
         self.reconcile_reports.append(report)
         for one in handles:
@@ -820,6 +835,7 @@ class ClusterManager:
         finally:
             handle._upgrading = False
             self._converging = False
+        self._note_transient(f"upgrade:{handle.name}", actions)
         report = ReconcileReport(at_ns=self.engine.now, actions=tuple(actions))
         self.reconcile_reports.append(report)
         handle._last_report = report
@@ -879,6 +895,19 @@ class ClusterManager:
         handle._watchdog = self.engine.process(
             body(), name=f"cluster.watchdog:{handle.name}", daemon=True
         )
+        if self.engine.fluid is not None:
+            # Sweep cadence bounds fluid windows (observer, no guard):
+            # a healthy sweep reads state and moves on; an unhealthy
+            # one reconciles, and that pass notes its own transient.
+            from repro.sim.fluid import PeriodicTransient
+
+            handle._watchdog_ticks = PeriodicTransient(
+                period_ns
+                if period_ns is not None
+                else handle.spec.health_period_ns,
+                anchor_ns=self.engine.now,
+            )
+            self.engine.fluid.register(handle._watchdog_ticks, guarded=False)
 
     def sweep(self, handle: ServiceHandle):
         """One immediate health sweep + reconcile; returns a completion

@@ -67,6 +67,7 @@ class MetricsRegistry:
         self.snapshots: list[dict] = []
         self._workloads: dict[str, OpenLoopStats] = {}
         self._sampler = None
+        self._tick_source = None  # fluid window bound while sampling
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.path.write_text("")  # fresh series; samples append
@@ -122,11 +123,23 @@ class MetricsRegistry:
         self._sampler = self.engine.process(
             body(), name="cluster.metrics", daemon=True
         )
+        if self.engine.fluid is not None:
+            # Sampling ticks bound fluid windows exactly (no guard):
+            # window stats are credited before the jump, so a snapshot
+            # at the tick reads fully-settled counters and never a
+            # partially credited interval.
+            from repro.sim.fluid import PeriodicTransient
+
+            self._tick_source = PeriodicTransient(period_ns, anchor_ns=self.engine.now)
+            self.engine.fluid.register(self._tick_source, guarded=False)
 
     def stop(self) -> None:
         if self._sampler is not None and self._sampler.is_alive:
             self._sampler.kill()
         self._sampler = None
+        if self._tick_source is not None and self.engine.fluid is not None:
+            self.engine.fluid.unregister(self._tick_source)
+        self._tick_source = None
 
     def __repr__(self) -> str:
         where = str(self.path) if self.path is not None else "memory"

@@ -127,6 +127,12 @@ class RepairQueue:
         self.on_repaired: list[collections.abc.Callable[[ServiceTicket], None]] = []
         self._open_by_slot: dict[RingSlot, ServiceTicket] = {}
         self._rng = engine.rng.stream(stream)
+        if engine.fluid is not None:
+            # Ticket expiries mutate cluster state (hardware serviced,
+            # slot uncordoned, replicas reconciled): guarded, so fluid
+            # windows end early enough for discrete warm-up to rebuild
+            # in-flight traffic before the capacity change lands.
+            engine.fluid.register(self, guarded=True)
 
     # -- observation -----------------------------------------------------------
 
@@ -150,6 +156,12 @@ class RepairQueue:
     def ticket_for(self, slot: RingSlot) -> ServiceTicket | None:
         """The open ticket covering ``slot``, if any."""
         return self._open_by_slot.get(slot)
+
+    def next_transient_ns(self, now_ns: float) -> float:
+        """Fluid :class:`~repro.sim.fluid.TransientSource` protocol:
+        the earliest pending repair expiry strictly after ``now``."""
+        pending = [t.due_ns for t in self.open_tickets if t.due_ns > now_ns]
+        return min(pending) if pending else math.inf
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -228,6 +240,8 @@ class RepairQueue:
         self._open_by_slot.pop(ticket.slot, None)
         ticket.closed_ns = self.engine.now
         ticket.outcome = "repaired"
+        if self.engine.fluid is not None:
+            self.engine.fluid.note_transient("repair")
         ticket.components_serviced = self.datacenter.service_ring(ticket.slot)
         if ticket.slot in self.scheduler.cordoned_slots:
             self.scheduler.uncordon(ticket.slot)

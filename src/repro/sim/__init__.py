@@ -18,6 +18,15 @@ from repro.sim.events import (
     Interrupt,
     Timeout,
 )
+from repro.sim.fluid import (
+    FluidCoordinator,
+    FluidModel,
+    FluidProfile,
+    FluidWindow,
+    PeriodicTransient,
+    ScheduledTransients,
+    TransientSource,
+)
 from repro.sim.process import Process, ProcessKilled
 from repro.sim.rng import RngStreams
 from repro.sim.sanitizer import (
@@ -28,6 +37,7 @@ from repro.sim.sanitizer import (
     dual_run,
     state_digest,
 )
+from repro.sim.slab import Slab, SlabError
 from repro.sim.stores import PriorityStore, Store, StoreFull
 from repro.sim.resources import Resource
 from repro.sim.units import MS, NS, SEC, US, cycles_to_ns, ns_to_us
@@ -38,9 +48,14 @@ __all__ = [
     "DualRunReport",
     "Engine",
     "Event",
+    "FluidCoordinator",
+    "FluidModel",
+    "FluidProfile",
+    "FluidWindow",
     "Interrupt",
     "MS",
     "NS",
+    "PeriodicTransient",
     "PriorityStore",
     "Process",
     "ProcessKilled",
@@ -49,11 +64,15 @@ __all__ = [
     "SEC",
     "SanitizerError",
     "SanitizerFinding",
+    "ScheduledTransients",
     "SimSanitizer",
     "SimulationError",
+    "Slab",
+    "SlabError",
     "Store",
     "StoreFull",
     "Timeout",
+    "TransientSource",
     "US",
     "cycles_to_ns",
     "dual_run",

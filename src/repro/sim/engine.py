@@ -39,6 +39,7 @@ from repro.sim.rng import RngStreams
 if typing.TYPE_CHECKING:  # pragma: no cover
     from collections.abc import Iterator
 
+    from repro.sim.fluid import FluidCoordinator
     from repro.sim.process import Process
     from repro.sim.sanitizer import SimSanitizer
 
@@ -81,11 +82,27 @@ class Engine:
         timer_band_ns: float = DEFAULT_BAND_NS,
         sanitize: bool | None = None,
         tie_break_salt: int = 0,
+        fluid: "bool | FluidCoordinator" = False,
     ):
         if timer_band_ns <= 0:
             raise ValueError(f"band width must be positive, got {timer_band_ns}")
         self.now: float = 0.0
         self.rng = RngStreams(seed)
+        # -- fluid fast-forward (opt-in hybrid analytic mode) --
+        self.fluid: FluidCoordinator | None = None
+        if fluid:
+            from repro.sim.fluid import FluidCoordinator
+
+            self.fluid = (
+                fluid if isinstance(fluid, FluidCoordinator) else FluidCoordinator(self)
+            )
+            self.fluid.engine = self
+        # Deadline of the innermost bounded run(until=...), math.inf
+        # outside one.  Fluid windows never advance past it: an external
+        # driver may mutate cluster state the moment a bounded run
+        # returns, and the analytic step must not have credited traffic
+        # beyond that point.
+        self.run_deadline_ns: float = math.inf
         # -- SimSanitizer (opt-in runtime race/leak detection) --
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
@@ -391,6 +408,8 @@ class Engine:
         self._running = True
         pop_next = self._pop_next
         dispatch = self._dispatch
+        saved_deadline = self.run_deadline_ns
+        self.run_deadline_ns = math.inf if until is None else until
         try:
             if until is None:
                 while self._nondaemon_pending > 0:
@@ -414,6 +433,7 @@ class Engine:
                     dispatch(entry)
         finally:
             self._running = False
+            self.run_deadline_ns = saved_deadline
         if until is not None and self.now < until:
             self.now = until
         if self.sanitizer is not None:

@@ -51,6 +51,7 @@ class Event:
         "_dispatched",
         "_daemon",
         "_scheduled",
+        "_slab_live",  # freelist recycling flag; see repro.sim.slab
     )
 
     # Class-level fallback: only Timeout carries a real deadline value.
@@ -70,6 +71,7 @@ class Event:
         self._dispatched = False
         self._daemon = False
         self._scheduled = False
+        self._slab_live = False
 
     # -- state ---------------------------------------------------------
 
@@ -164,6 +166,46 @@ class Timeout(Event):
         self.cancelled = True
         self.engine.mark_daemon(self)
         self.engine._note_cancel()
+
+    def rearm(self, delay: float, value: object = None) -> "Timeout":
+        """Re-schedule a *dispatched* timeout ``delay`` ns from now.
+
+        Object recycling for tight per-arrival loops: an arrival source
+        that sleeps a million times can reuse one ``Timeout`` instead
+        of allocating a million.  Only a dispatched timeout may be
+        rearmed — an undispatched one still has a queue entry (pending,
+        or lazily cancelled and not yet dropped), and resetting its
+        flags would resurrect that stale entry as a spurious second
+        firing.  Rearming a live timeout raises ``RuntimeError``; under
+        the sanitizer it is additionally recorded as a
+        ``slab-resurrection`` finding.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        engine = self.engine
+        if not self._dispatched:
+            if engine.sanitizer is not None:
+                engine.sanitizer.note_resurrection(
+                    f"rearm of {self!r}: the previous arming is still queued"
+                )
+            raise RuntimeError(
+                f"cannot rearm {self!r}: not dispatched yet (the previous "
+                "arming still has a live or lazily-cancelled queue entry)"
+            )
+        self.delay = delay
+        self._timeout_value = value
+        self.callbacks = None
+        self.cancelled = False
+        self.triggered = False
+        self._value = _PENDING
+        self._exception = None
+        self._dispatched = False
+        self._daemon = False
+        self._scheduled = False
+        if engine.sanitizer is not None:
+            engine.sanitizer.note_rearm(self)
+        engine._schedule_at(engine.now + delay, self)
+        return self
 
     def __repr__(self) -> str:
         state = "ok" if self.ok else ("failed" if self.triggered else "pending")

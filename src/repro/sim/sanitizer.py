@@ -53,6 +53,8 @@ _KERNEL_FILES = (
     f"{os.sep}sim{os.sep}sanitizer.py",
     f"{os.sep}sim{os.sep}stores.py",
     f"{os.sep}sim{os.sep}resources.py",
+    f"{os.sep}sim{os.sep}slab.py",
+    f"{os.sep}sim{os.sep}fluid.py",
 )
 
 
@@ -64,7 +66,7 @@ class SanitizerError(RuntimeError):
 class SanitizerFinding:
     """One detected violation."""
 
-    kind: str  # timeout-leak | orphan-process | lease-leak | clock-regression
+    kind: str  # timeout-leak | orphan-process | lease-leak | clock-regression | slab-resurrection
     message: str
     site: str  # creation site "file:line in func", or "" when unknown
 
@@ -121,6 +123,20 @@ class SimSanitizer:
 
     def note_timeout(self, timeout: Timeout) -> None:
         self._timeout_sites[timeout] = _creation_site()
+
+    def note_rearm(self, timeout: Timeout) -> None:
+        """A recycled timeout was re-armed: track the new arming's site
+        so leak findings point at the rearm, not the original birth."""
+        self._timeout_sites[timeout] = _creation_site()
+
+    def note_resurrection(self, message: str) -> None:
+        """A recycled object (slab entry, rearmed timeout) was brought
+        back to life while its previous life was still live."""
+        self.findings.append(
+            SanitizerFinding(
+                kind="slab-resurrection", message=message, site=_creation_site()
+            )
+        )
 
     def note_process(self, process: "Process") -> None:
         self._processes.append(process)

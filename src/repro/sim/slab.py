@@ -1,0 +1,166 @@
+"""Slab/freelist recycling for per-request hot-path objects.
+
+A million-arrival open-loop run allocates (and promptly discards) one
+completion event, one guard deadline, and one lease record per request
+— garbage-collector churn that the kernel's ``__slots__`` classes made
+cheap but not free.  A :class:`Slab` removes the allocation entirely:
+released objects park on a bounded freelist and the next acquire hands
+one back after running the caller's ``reset`` hook.
+
+Recycling's classic failure mode is *resurrection*: handing an object
+back out (or accepting its release) while its previous life is still
+referenced by live machinery — a queued engine entry, a pending
+condition, an unfired callback.  The slab guards against it:
+
+* every object carries a live flag (``_slab_live``) that acquire sets
+  and release clears — double release and double acquire of the same
+  object always raise, sanitizer or not;
+* an optional ``still_live`` predicate inspects the object at release
+  time (e.g. "is this event still scheduled and undispatched?"); a
+  release that flunks it raises, and under ``REPRO_SANITIZE=1`` is
+  also recorded as a ``slab-resurrection`` finding with the caller's
+  site.
+
+The flag lives on the recycled objects themselves, so slabbed classes
+must either have a ``__dict__`` or include ``_slab_live`` in their
+``__slots__`` — the kernel's :class:`~repro.sim.events.Event` tree
+qualifies via :meth:`Slab.for_events` helpers at the call sites.
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class SlabError(RuntimeError):
+    """A recycled object was used while live (or released while free)."""
+
+
+class Slab:
+    """A bounded freelist of reusable objects.
+
+    ``factory`` builds a fresh object when the freelist is empty;
+    ``reset`` (optional) scrubs a recycled object back to its pristine
+    state on acquire; ``still_live`` (optional) vets objects at release
+    time.  ``capacity`` bounds the parked freelist — releases beyond it
+    simply drop the object to the garbage collector.
+    """
+
+    __slots__ = (
+        "factory",
+        "reset",
+        "still_live",
+        "capacity",
+        "engine",
+        "_free",
+        "allocated",
+        "recycled",
+    )
+
+    def __init__(
+        self,
+        factory: collections.abc.Callable[[], object],
+        reset: collections.abc.Callable[[object], None] | None = None,
+        still_live: collections.abc.Callable[[object], bool] | None = None,
+        capacity: int = 4096,
+        engine: "Engine | None" = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.factory = factory
+        self.reset = reset
+        self.still_live = still_live
+        self.capacity = capacity
+        self.engine = engine
+        self._free: list[object] = []
+        self.allocated = 0  # fresh constructions (cache misses)
+        self.recycled = 0  # freelist hits
+
+    @classmethod
+    def for_events(
+        cls, engine: "Engine", name: str = "", capacity: int = 4096
+    ) -> "Slab":
+        """A slab of plain :class:`~repro.sim.events.Event` objects.
+
+        The ``reset`` hook scrubs a recycled event back to the state a
+        fresh ``Engine.event()`` would produce; ``still_live`` refuses
+        to accept an event whose previous firing is still sitting in
+        the engine queue (scheduled but not yet dispatched) — recycling
+        it then would hand its waiters someone else's completion.
+        """
+        from repro.sim.events import _PENDING
+
+        def factory() -> object:
+            return engine.event(name=name)
+
+        def reset(event) -> None:
+            event.callbacks = None
+            event.cancelled = False
+            event.triggered = False
+            event._value = _PENDING
+            event._exception = None
+            event._dispatched = False
+            event._daemon = False
+            event._scheduled = False
+
+        def still_live(event) -> bool:
+            return event._scheduled and not event._dispatched
+
+        return cls(
+            factory,
+            reset=reset,
+            still_live=still_live,
+            capacity=capacity,
+            engine=engine,
+        )
+
+    def _violation(self, message: str) -> typing.NoReturn:
+        if self.engine is not None and self.engine.sanitizer is not None:
+            self.engine.sanitizer.note_resurrection(message)
+        raise SlabError(message)
+
+    def acquire(self) -> object:
+        free = self._free
+        if free:
+            obj = free.pop()
+            if getattr(obj, "_slab_live", False):
+                self._violation(
+                    f"slab acquire returned {obj!r} which is already live"
+                )
+            if self.reset is not None:
+                self.reset(obj)
+            self.recycled += 1
+        else:
+            obj = self.factory()
+            self.allocated += 1
+        obj._slab_live = True
+        return obj
+
+    def release(self, obj: object) -> None:
+        if not getattr(obj, "_slab_live", False):
+            self._violation(
+                f"double release of {obj!r}: it is already on the freelist "
+                "(or was never acquired from this slab)"
+            )
+        if self.still_live is not None and self.still_live(obj):
+            self._violation(
+                f"release of {obj!r} while still live: recycling it now "
+                "would resurrect an object the engine still references"
+            )
+        obj._slab_live = False
+        free = self._free
+        if len(free) < self.capacity:
+            free.append(obj)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Slab free={len(self._free)}/{self.capacity} "
+            f"allocated={self.allocated} recycled={self.recycled}>"
+        )

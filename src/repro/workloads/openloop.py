@@ -63,6 +63,21 @@ class ArrivalProcess:
             raise ValueError(f"arrival rate must be positive, got {rate}")
         return rng.expovariate(1.0) * (SEC / rate)
 
+    def next_regime_edge_ns(self, now_ns: float) -> float:
+        """Next instant the rate changes *discontinuously* (``inf`` if
+        never).  Fluid fast-forward windows never span an edge: the
+        queue dynamics around a square-wave burst onset are exactly the
+        transients the hybrid mode must simulate discretely."""
+        return math.inf
+
+    def fluid_horizon_ns(self, now_ns: float, rel_tol: float = 0.05) -> float:
+        """Longest analytic window from ``now`` over which the rate
+        stays within ``rel_tol`` of its current value (``inf`` for
+        piecewise-constant processes).  A slope bound, not an edge:
+        smoothly-varying processes (diurnal) are chopped into windows
+        short enough that each is near-homogeneous."""
+        return math.inf
+
 
 class PoissonArrivals(ArrivalProcess):
     """Memoryless arrivals at a constant offered rate."""
@@ -104,6 +119,15 @@ class BurstyArrivals(ArrivalProcess):
         phase = (now_ns % self.period_ns) / self.period_ns
         return self.burst_rate_per_s if phase < self.duty else self.base_rate_per_s
 
+    def next_regime_edge_ns(self, now_ns: float) -> float:
+        period = self.period_ns
+        cycle_start = now_ns - (now_ns % period)
+        duty_edge = cycle_start + self.duty * period
+        edge = duty_edge if duty_edge > now_ns else cycle_start + period
+        if edge <= now_ns:  # float modulo guard at exact boundaries
+            edge += period
+        return edge
+
 
 class DiurnalArrivals(ArrivalProcess):
     """Sinusoidal day curve: ``mean * (1 + amplitude * sin(2πt/period))``."""
@@ -127,6 +151,14 @@ class DiurnalArrivals(ArrivalProcess):
     def rate_at(self, now_ns: float) -> float:
         phase = 2.0 * math.pi * (now_ns % self.period_ns) / self.period_ns
         return self.mean_rate_per_s * (1.0 + self.amplitude * math.sin(phase))
+
+    def fluid_horizon_ns(self, now_ns: float, rel_tol: float = 0.05) -> float:
+        if self.amplitude == 0.0:
+            return math.inf
+        # |d rate/dt| <= mean * amplitude * 2π/period, so the rate moves
+        # by at most rel_tol * rate(now) over this window.
+        max_slope = self.mean_rate_per_s * self.amplitude * 2.0 * math.pi / self.period_ns
+        return rel_tol * self.rate_at(now_ns) / max_slope
 
 
 @dataclasses.dataclass
@@ -189,6 +221,19 @@ class _SinkProtocol(typing.Protocol):  # pragma: no cover - typing aid
     def submit(self, request, timeout_ns: float) -> collections.abc.Generator: ...
 
 
+class _RegimeEdges:
+    """Adapter registering an arrival process's rate edges as a
+    :class:`~repro.sim.fluid.TransientSource`."""
+
+    __slots__ = ("arrivals",)
+
+    def __init__(self, arrivals: ArrivalProcess):
+        self.arrivals = arrivals
+
+    def next_transient_ns(self, now_ns: float) -> float:
+        return self.arrivals.next_regime_edge_ns(now_ns)
+
+
 class OpenLoopInjector:
     """Drives a sink with open-loop arrivals plus admission control.
 
@@ -218,6 +263,7 @@ class OpenLoopInjector:
         timeout_ns: float = 5 * SEC,
         seed_tag: str = "openloop",
         batch_window_ns: float = 0.0,
+        fluid: bool | None = None,
     ):
         if not pool:
             raise ValueError("request pool must be non-empty")
@@ -237,6 +283,17 @@ class OpenLoopInjector:
         self._pool_index = 0
         self._open = 0  # in-flight handlers + the arrival source itself
         self._done: Event | None = None
+        # -- fluid fast-forward (opt-in; see repro.sim.fluid) --
+        # ``fluid=None`` follows the engine: enabled iff the engine was
+        # built with a coordinator.  Batched admission already trades
+        # exact timing for throughput; the two modes do not compose.
+        if fluid is None:
+            fluid = engine.fluid is not None
+        self._fluid = bool(fluid) and engine.fluid is not None and batch_window_ns == 0.0
+        self._model = None  # persistent virtual queue across fluid windows
+        if self._fluid:
+            self._fluid_rng = engine.rng.stream(f"openloop:{seed_tag}:fluid")
+            engine.fluid.register(_RegimeEdges(arrivals), guarded=False)
 
     def _next_request(self):
         request = self.pool[self._pool_index % len(self.pool)]
@@ -253,7 +310,8 @@ class OpenLoopInjector:
         done = self.engine.event(name="openloop:done")
         self._done = done
         self._open = 1  # the arrival source's own count
-        self.engine.process(self._arrivals_body(count), name="openloop.src")
+        body = self._arrivals_body_fluid if self._fluid else self._arrivals_body
+        self.engine.process(body(count), name="openloop.src")
         return done
 
     def _close_one(self) -> None:
@@ -278,6 +336,11 @@ class OpenLoopInjector:
         scale = (SEC / constant_rate) if constant_rate else None
         interarrival = self.arrivals.interarrival_ns
         remaining = count
+        # One recycled Timeout serves every arrival gap: rearm() resets
+        # and re-schedules the dispatched object in place, so a million
+        # sleeps cost zero allocations instead of a million (identical
+        # schedule entries and RNG draws — same-seed runs are unchanged).
+        gate = None
         while remaining:
             # Accumulate gaps until the batch window fills (one draw —
             # batch of one — when the window is 0, the exact pre-change
@@ -294,7 +357,11 @@ class OpenLoopInjector:
                     gap = interarrival(rng, engine.now + wait)
                 wait += gap
                 batch += 1
-            yield timeout(wait)
+            if gate is None:
+                gate = timeout(wait)
+            else:
+                gate.rearm(wait)
+            yield gate
             remaining -= batch
             now = engine.now
             stats.offered += batch
@@ -305,6 +372,192 @@ class OpenLoopInjector:
                 stats.admitted += 1
                 self._open += 1
                 spawn(self._handle(self._next_request(), now))
+        self._close_one()  # release the source's own count
+
+    def _arrivals_body_fluid(self, count: int) -> collections.abc.Generator:
+        """The hybrid arrival source: identical RNG draw sequence and
+        arrival instants as :meth:`_arrivals_body`, but whenever the
+        cluster is quiescent (no pending transient within the guard, no
+        regime edge, real sink idle) and the sink publishes a
+        :class:`~repro.sim.fluid.FluidProfile`, whole stretches of
+        arrivals are credited analytically — counters, admission
+        decisions, and latency samples computed from a virtual M/D/c
+        queue — with a *single* engine event advancing the clock across
+        the window.
+
+        Exactness: with a deterministic-service profile the virtual
+        queue reproduces the discrete sink's per-channel dynamics
+        exactly (same arrival times, same round-robin assignment, same
+        completion instants), so offered/admitted/rejected/completed
+        totals match a same-seed discrete run; only the handful of
+        requests straddling a window boundary can see their latency
+        shift within the service-time scale.  Window stats are credited
+        *before* the jump, so observers waking at the window edge
+        (metrics ticks, watchdogs) read fully-settled counters.
+        """
+        engine = self.engine
+        coordinator = engine.fluid
+        timeout = engine.timeout
+        spawn = engine.process
+        stats = self.stats
+        sink = self.sink
+        arrivals = self.arrivals
+        max_depth = self.max_queue_depth
+        request_timeout = self.timeout_ns
+        rng = self._rng
+        expovariate = rng.expovariate
+        constant_rate = arrivals.constant_rate_per_s()
+        scale = (SEC / constant_rate) if constant_rate else None
+        interarrival = arrivals.interarrival_ns
+        profile_fn = getattr(sink, "fluid_profile", None)
+        note_fluid = getattr(sink, "note_fluid", None)
+        latencies = stats.latencies_ns
+        min_window = coordinator.min_window_ns
+        from repro.sim.fluid import FluidModel, FluidWindow
+
+        remaining = count
+        pending_at: float | None = None  # drawn arrival not yet served
+        tail_ns = 0.0  # latest analytically credited completion
+        gate = None  # recycled sleep Timeout (see _arrivals_body)
+        while remaining:
+            now = engine.now
+            if pending_at is None:
+                if scale is not None:
+                    arrive_at = now + expovariate(1.0) * scale
+                else:
+                    arrive_at = now + interarrival(rng, now)
+            else:
+                arrive_at = pending_at
+                pending_at = None
+            # -- can an analytic window open at `now`? --------------------
+            profile = None
+            if profile_fn is not None and sink.outstanding == 0:
+                window_end = coordinator.window_end(now)
+                edge = arrivals.next_regime_edge_ns(now)
+                if edge < window_end:
+                    window_end = edge
+                horizon = now + arrivals.fluid_horizon_ns(now)
+                if horizon < window_end:
+                    window_end = horizon
+                if window_end - now >= min_window and arrive_at <= window_end:
+                    profile = profile_fn()
+            if profile is not None and profile.exact:
+                model = self._model
+                if model is not None:
+                    model.drain(now)
+                if model is None or model.outstanding == 0:
+                    # No live virtual tail: resync channel state from the
+                    # sink (cursor moves under discrete interludes).
+                    model = self._model = FluidModel(profile)
+                elif (
+                    model.servers != profile.servers
+                    or model.service_ns != profile.service_ns
+                ):
+                    profile = None  # sink reshaped under a live tail
+            if profile is None:
+                # -- discrete arrival: the legacy per-request sequence ----
+                if gate is None:
+                    gate = timeout(arrive_at - now)
+                else:
+                    gate.rearm(arrive_at - now)
+                yield gate
+                remaining -= 1
+                now = engine.now
+                stats.offered += 1
+                if max_depth is not None and sink.outstanding >= max_depth:
+                    stats.rejected += 1
+                else:
+                    stats.admitted += 1
+                    self._open += 1
+                    spawn(self._handle(self._next_request(), now))
+                continue
+            # -- analytic window: credit arrivals in [now, window_end] ----
+            offered = admitted = rejected = completed = timeouts = 0
+            latency_sum = 0.0
+            exact = profile.service_ns is not None
+            model = self._model if exact else None
+            sampler = profile.sampler
+            fluid_rng = self._fluid_rng
+            t = arrive_at
+            while True:
+                offered += 1
+                remaining -= 1
+                if exact:
+                    model.drain(t)
+                    if max_depth is not None and model.outstanding >= max_depth:
+                        rejected += 1
+                    else:
+                        admitted += 1
+                        sojourn = model.offer(t) - t
+                        if sojourn > request_timeout:
+                            timeouts += 1
+                        else:
+                            completed += 1
+                            latency_sum += sojourn
+                            latencies.append(sojourn)
+                        if t + sojourn > tail_ns:
+                            tail_ns = t + sojourn
+                else:
+                    # Flow/sampler mode (live cluster sinks): no virtual
+                    # queue — admission is assumed (steady state implies
+                    # the depth limit is slack) and sojourns are drawn
+                    # from the sink's empirical distribution on a
+                    # dedicated seeded stream.
+                    admitted += 1
+                    sojourn = sampler(fluid_rng)
+                    if sojourn > request_timeout:
+                        timeouts += 1
+                    else:
+                        completed += 1
+                        latency_sum += sojourn
+                        latencies.append(sojourn)
+                    if t + sojourn > tail_ns:
+                        tail_ns = t + sojourn
+                if not remaining:
+                    break
+                if scale is not None:
+                    gap = expovariate(1.0) * scale
+                else:
+                    gap = interarrival(rng, t)
+                if t + gap > window_end:
+                    pending_at = t + gap
+                    break
+                t += gap
+            self._pool_index += admitted
+            stats.offered += offered
+            stats.admitted += admitted
+            stats.rejected += rejected
+            stats.completed += completed
+            stats.timeouts += timeouts
+            coordinator.credit_window(now, window_end, offered)
+            if note_fluid is not None:
+                note_fluid(
+                    FluidWindow(
+                        start_ns=now,
+                        end_ns=window_end,
+                        offered=offered,
+                        admitted=admitted,
+                        rejected=rejected,
+                        completed=completed,
+                        timeouts=timeouts,
+                        latency_sum_ns=latency_sum,
+                    )
+                )
+            if remaining:
+                # Jump to the window edge; the held arrival beyond it is
+                # served by the next loop pass (fluid again if a fresh
+                # window opens, discretely otherwise).
+                target = window_end
+            else:
+                # Last arrival credited analytically: advance the clock
+                # past the final virtual completion so `done` fires at
+                # (or after) the same instant as a discrete run.
+                target = tail_ns if tail_ns > t else t
+            if gate is None:
+                gate = timeout(target - now)
+            else:
+                gate.rearm(target - now)
+            yield gate
         self._close_one()  # release the source's own count
 
     def _handle(self, request, arrived_ns: float) -> collections.abc.Generator:
